@@ -1,0 +1,231 @@
+// pdtfe — command-line driver for the library.
+//
+//   pdtfe generate --out snap.bin [--kind halo|web|uniform] [--n 100000]
+//                  [--box 64] [--blocks 4] [--seed 1]
+//   pdtfe info     --in snap.bin
+//   pdtfe render   --in snap.bin --out map.pgm [--grid 512]
+//                  [--method march|walk|tess|cic] [--mc 1] [--adaptive 0]
+//   pdtfe pipeline --in snap.bin [--ranks 8] [--fields 64] [--length 5]
+//                  [--grid 64] [--balance 1]
+//   pdtfe lensing  --in snap.bin --out-prefix lens [--grid 256]
+//                  [--length 8] [--sigma-crit-frac 4]
+//   pdtfe spectrum --in snap.bin [--grid 64] [--bins 16]
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "core/dtfe.h"
+#include "dtfe/lensing.h"
+#include "util/cli.h"
+#include "util/image.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dtfe;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pdtfe <generate|info|render|pipeline|lensing|spectrum> "
+               "[--flags]\n       see the header of apps/pdtfe_main.cpp\n");
+  return 2;
+}
+
+int cmd_generate(const CliArgs& args) {
+  args.check_known({"out", "kind", "n", "box", "blocks", "seed"});
+  const std::string out = args.get("out", std::string{});
+  DTFE_CHECK_MSG(!out.empty(), "--out is required");
+  const std::string kind = args.get("kind", std::string{"halo"});
+  const auto n = static_cast<std::size_t>(args.get("n", 100000L));
+  const double box = args.get("box", 64.0);
+  const auto blocks = static_cast<std::size_t>(args.get("blocks", 4L));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+
+  ParticleSet set;
+  if (kind == "halo") {
+    HaloModelOptions gen;
+    gen.n_particles = n;
+    gen.box_length = box;
+    gen.n_halos = std::max<std::size_t>(8, n / 2500);
+    gen.seed = seed;
+    set = generate_halo_model(gen);
+  } else if (kind == "web") {
+    ZeldovichOptions gen;
+    gen.grid = 64;
+    gen.box_length = box;
+    gen.seed = seed;
+    set = generate_zeldovich(gen);
+  } else if (kind == "uniform") {
+    set = generate_uniform(n, box, seed);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
+    return 2;
+  }
+  write_snapshot(out, set, blocks);
+  std::printf("wrote %s: %zu particles, box %.1f, %zu^3 blocks\n", out.c_str(),
+              set.size(), box, blocks);
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  args.check_known({"in"});
+  const auto header = read_snapshot_header(args.get("in", std::string{}));
+  std::printf("particles: %llu\nbox:       %.3f\nmass:      %.3g\nblocks:    %zu\n",
+              static_cast<unsigned long long>(header.n_particles),
+              header.box_length, header.particle_mass, header.blocks.size());
+  std::size_t lo = static_cast<std::size_t>(-1), hi = 0;
+  for (const auto& b : header.blocks) {
+    lo = std::min(lo, static_cast<std::size_t>(b.count));
+    hi = std::max(hi, static_cast<std::size_t>(b.count));
+  }
+  std::printf("block particle counts: min %zu max %zu\n", lo, hi);
+  return 0;
+}
+
+int cmd_render(const CliArgs& args) {
+  args.check_known({"in", "out", "grid", "method", "mc", "adaptive"});
+  const ParticleSet set = read_snapshot(args.get("in", std::string{}));
+  const auto ng = static_cast<std::size_t>(args.get("grid", 512L));
+  const std::string method = args.get("method", std::string{"march"});
+  const std::string out = args.get("out", std::string{"map.pgm"});
+
+  FieldSpec spec;
+  spec.origin = {0.0, 0.0};
+  spec.length = set.box_length;
+  spec.resolution = ng;
+  spec.zmin = 0.0;
+  spec.zmax = set.box_length;
+
+  WallTimer timer;
+  Grid2D map;
+  if (method == "cic") {
+    map = assign_surface_density(set, ng, AssignmentScheme::kCic);
+  } else {
+    const Reconstructor recon(set.positions, set.particle_mass);
+    std::printf("triangulated %zu particles in %.2f s\n", set.size(),
+                timer.seconds());
+    timer.reset();
+    if (method == "march") {
+      MarchingOptions opt;
+      opt.monte_carlo_samples = static_cast<int>(args.get("mc", 1L));
+      opt.adaptive_max_depth = static_cast<int>(args.get("adaptive", 0L));
+      map = recon.surface_density(spec, opt);
+    } else if (method == "walk") {
+      map = recon.surface_density_walking(spec);
+    } else if (method == "tess") {
+      map = recon.surface_density_zero_order(spec);
+    } else {
+      std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+      return 2;
+    }
+  }
+  std::printf("rendered %zux%zu (%s) in %.2f s; grid mass %.0f of %.0f\n", ng,
+              ng, method.c_str(), timer.seconds(),
+              map.sum() * spec.cell_size() * spec.cell_size(),
+              set.total_mass());
+  write_log_pgm(out, map.values(), ng, ng);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_pipeline(const CliArgs& args) {
+  args.check_known({"in", "ranks", "fields", "length", "grid", "balance"});
+  const std::string path = args.get("in", std::string{});
+  const int ranks = static_cast<int>(args.get("ranks", 8L));
+  const auto n_fields = static_cast<std::size_t>(args.get("fields", 64L));
+
+  const ParticleSet set = read_snapshot(path);
+  const auto groups = find_fof_groups(set);
+  std::vector<Vec3> centers;
+  for (std::size_t i = 0; i < groups.size() && centers.size() < n_fields; ++i)
+    centers.push_back(groups[i].center);
+  std::printf("%zu field requests on FOF objects, %d ranks\n", centers.size(),
+              ranks);
+
+  PipelineOptions opt;
+  opt.field_length = args.get("length", 5.0);
+  opt.field_resolution = static_cast<std::size_t>(args.get("grid", 64L));
+  opt.load_balance = args.get("balance", 1L) != 0;
+
+  std::mutex mtx;
+  RunningStats busy;
+  simmpi::run(ranks, [&](simmpi::Comm& comm) {
+    const PipelineResult res =
+        run_pipeline_from_snapshot(comm, path, centers, opt);
+    std::lock_guard<std::mutex> lock(mtx);
+    busy.add(res.phases.total());
+    std::printf("rank %2d: %3zu local, %3zu received, busy %.2fs\n",
+                comm.rank(), res.local_items, res.items_received,
+                res.phases.total());
+  });
+  std::printf("busy: mean %.2fs max %.2fs (imbalance %.2f)\n", busy.mean(),
+              busy.max(), busy.max() / std::max(busy.mean(), 1e-12));
+  return 0;
+}
+
+int cmd_lensing(const CliArgs& args) {
+  args.check_known({"in", "out-prefix", "grid", "length", "sigma-crit-frac"});
+  const ParticleSet set = read_snapshot(args.get("in", std::string{}));
+  const auto ng = static_cast<std::size_t>(args.get("grid", 256L));
+  const double length = args.get("length", 8.0);
+  const std::string prefix = args.get("out-prefix", std::string{"lens"});
+
+  const auto groups = find_fof_groups(set);
+  DTFE_CHECK_MSG(!groups.empty(), "no FOF objects found");
+  const Vec3 target = groups[0].center;
+  const auto cube = extract_cube(set, target, 1.3 * length);
+  const Reconstructor recon(cube, set.particle_mass);
+  const FieldSpec spec = FieldSpec::centered(target, length, ng);
+  const Grid2D sigma = recon.surface_density(spec);
+
+  RunningStats st;
+  for (const double v : sigma.values()) st.add(v);
+  LensingOptions lopt;
+  lopt.sigma_critical = st.max() / args.get("sigma-crit-frac", 4.0);
+  lopt.extent = length;
+  const LensingMaps maps = compute_lensing_maps(sigma, lopt);
+  write_log_pgm(prefix + "_kappa.pgm", maps.convergence.values(), ng, ng);
+  write_diverging_ppm(prefix + "_shear1.ppm", maps.shear1.values(), ng, ng, 0.5);
+  std::printf("wrote %s_kappa.pgm %s_shear1.ppm (kappa_max %.2f)\n",
+              prefix.c_str(), prefix.c_str(), st.max() / lopt.sigma_critical);
+  return 0;
+}
+
+int cmd_spectrum(const CliArgs& args) {
+  args.check_known({"in", "grid", "bins"});
+  const ParticleSet set = read_snapshot(args.get("in", std::string{}));
+  const auto ng = static_cast<std::size_t>(args.get("grid", 64L));
+  const auto bins = static_cast<std::size_t>(args.get("bins", 16L));
+  const Grid3D g = assign_density_3d(set, ng, AssignmentScheme::kCic);
+  const auto ps = measure_power_spectrum(g, set.box_length, bins);
+  const double shot =
+      std::pow(set.box_length, 3) / static_cast<double>(set.size());
+  std::printf("%12s %14s %10s   (shot noise %.4g)\n", "k", "P(k)", "modes",
+              shot);
+  for (const auto& b : ps)
+    if (b.modes)
+      std::printf("%12.4f %14.6g %10zu\n", b.k, b.power, b.modes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const dtfe::CliArgs args(argc, argv);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "render") return cmd_render(args);
+    if (cmd == "pipeline") return cmd_pipeline(args);
+    if (cmd == "lensing") return cmd_lensing(args);
+    if (cmd == "spectrum") return cmd_spectrum(args);
+    return usage();
+  } catch (const dtfe::Error& e) {
+    std::fprintf(stderr, "pdtfe: %s\n", e.what());
+    return 1;
+  }
+}

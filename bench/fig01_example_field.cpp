@@ -1,0 +1,47 @@
+// Paper Fig. 1: "An example of a typical surface density field computed
+// during a strong lensing study from an N-body particle simulation. The
+// DTFE method was used to generate this 2048×2048 grid representing ~1.5
+// million particles within a sub-volume."
+//
+// Scaled reproduction: the largest FOF object of a clustered box, rendered
+// by the marching kernel onto a 512×512 grid. Writes fig01_field.pgm.
+#include "fig_common.h"
+#include "util/image.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace dtfe;
+  bench::banner("Fig. 1 — example surface density field of the largest object");
+
+  const ParticleSet set = bench::planck_like_box(200000, 64.0, 42);
+  const auto centers = bench::fof_centers(set, 1);
+  const Vec3 target = centers.at(0);
+  std::printf("largest object at (%.1f, %.1f, %.1f)\n", target.x, target.y,
+              target.z);
+
+  // Sub-volume extraction with a ghost pad, as the pipeline does.
+  const double field_length = 10.0;
+  const auto cube = extract_cube(set, target, 1.3 * field_length);
+  std::printf("sub-volume holds %zu particles\n", cube.size());
+
+  WallTimer timer;
+  const Reconstructor recon(cube, set.particle_mass);
+  std::printf("triangulation: %.2f s (%zu cells)\n", timer.seconds(),
+              recon.triangulation().num_cells());
+
+  const FieldSpec spec = FieldSpec::centered(target, field_length, 512);
+  timer.reset();
+  const Grid2D field = recon.surface_density(spec);
+  std::printf("marching render 512x512: %.2f s\n", timer.seconds());
+
+  RunningStats st;
+  for (const double v : field.values()) st.add(v);
+  std::printf("surface density: min %.3g max %.3g mean %.3g (dynamic range "
+              "%.1f dex)\n",
+              st.min(), st.max(), st.mean(),
+              std::log10(std::max(st.max(), 1e-300) /
+                         std::max(st.min(), 1e-12)));
+  write_log_pgm("fig01_field.pgm", field.values(), 512, 512);
+  std::printf("wrote fig01_field.pgm\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Paper Fig. 6: per-thread interpolation time of the walking-based DTFE
+// public software vs the marching kernel, one shared triangulation, same
+// number of rendered cells ("both approaches are locating and interpolating
+// exactly the same number of grid cells"). Paper observes ~10× overall and
+// much better thread balance for the marching kernel.
+//
+// Scaled reproduction: a Zel'dovich box (the Gadget-demo stand-in), one
+// grid, both kernels under 8 OpenMP threads (oversubscribed here; per-thread
+// CPU time is the balance metric).
+#include <omp.h>
+
+#include "fig_common.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace dtfe;
+  bench::banner("Fig. 6 — walking (DTFE 1.1.1 style) vs marching kernel");
+
+  // The paper's configuration has the grid much finer than the mesh: a
+  // 1024³ grid over 650k particles (Ng/N^⅓ ≈ 12). The walking renderer then
+  // locates ~12 redundant 3D samples inside every tetrahedron a line of
+  // sight crosses, where the marching kernel performs a single exact
+  // intersection — this ratio IS the ~10×. Reproduce the regime scaled:
+  // ~8k web particles (N^⅓ = 20) under a 256³-equivalent grid.
+  const std::size_t n_keep =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192;
+  const std::size_t ng = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 256;
+  omp_set_num_threads(8);
+
+  // The Gadget demo snapshot is a strongly evolved (clustered) z=0 box;
+  // the halo-model generator reproduces that clustering, which is what
+  // makes static per-thread decompositions imbalanced.
+  HaloModelOptions gen;
+  gen.n_particles = n_keep;
+  gen.box_length = 100.0;
+  gen.n_halos = 12;
+  gen.background_fraction = 0.3;
+  gen.seed = 3;
+  ParticleSet set = generate_halo_model(gen);
+  std::printf("dataset: %zu particles in a (100)^3 box, %zux%zu grid "
+              "(z-resolution %zu) — Ng/N^1/3 = %.1f as in the paper\n",
+              set.size(), ng, ng, ng,
+              static_cast<double>(ng) /
+                  std::cbrt(static_cast<double>(set.size())));
+
+  WallTimer timer;
+  const Reconstructor recon(set.positions, set.particle_mass);
+  std::printf("shared triangulation: %.2f s\n\n", timer.seconds());
+
+  FieldSpec spec;
+  spec.origin = {0.0, 0.0};
+  spec.length = set.box_length;
+  spec.resolution = ng;
+  spec.zmin = 0.0;
+  spec.zmax = set.box_length;
+
+  // Walking baseline: every 3D grid point located by an incremental walk and
+  // interpolated (paper Eq. 4), with DTFE 1.1.1's static per-thread volume
+  // decomposition ("no attempt is made to balance workloads").
+  WalkingKernel walking(recon.density(),
+                        {.z_resolution = ng, .static_decomposition = true});
+  timer.reset();
+  const Grid2D walk_map = walking.render(spec);
+  const double walk_wall = timer.seconds();
+
+  // Marching kernel, SAME grid cells: the march locates whole tetra
+  // intervals and evaluates the identical fixed z-planes within them.
+  MarchingOptions mopt;
+  mopt.z_samples = static_cast<int>(ng);
+  MarchingKernel marching(recon.density(), recon.hull(), mopt);
+  timer.reset();
+  const Grid2D march_map = marching.render(spec);
+  const double march_wall = timer.seconds();
+
+  // Bonus: the exact-integration mode (no 3D sampling at all), the mode the
+  // rest of this library uses.
+  MarchingKernel exact(recon.density(), recon.hull());
+  timer.reset();
+  (void)exact.render(spec);
+  const double exact_wall = timer.seconds();
+
+  const auto& wt = walking.stats().thread_seconds;
+  const auto& mt = marching.stats().thread_seconds;
+  std::printf("%8s %18s %18s\n", "thread", "DTFE-walk (s)", "marching (s)");
+  for (std::size_t t = 0; t < wt.size(); ++t)
+    std::printf("%8zu %18.3f %18.3f\n", t, wt[t],
+                t < mt.size() ? mt[t] : 0.0);
+  const double wmean = mean_of(wt), mmean = mean_of(mt);
+  double wmax = 0, mmax = 0;
+  for (double t : wt) wmax = std::max(wmax, t);
+  for (double t : mt) mmax = std::max(mmax, t);
+  std::printf("%8s %18.3f %18.3f\n", "mean", wmean, mmean);
+  std::printf("%8s %18.3f %18.3f\n", "std", stddev_of(wt), stddev_of(mt));
+  std::printf("%8s %18.3f %18.3f\n", "max", wmax, mmax);
+  std::printf("\nwall: walking %.2f s, marching %.2f s, exact-integration "
+              "marching %.2f s\n",
+              walk_wall, march_wall, exact_wall);
+  std::printf("kernel speedup (mean thread time): %.1fx\n",
+              wmean / std::max(mmean, 1e-9));
+  std::printf("execution speedup (slowest thread, the paper's metric): %.1fx "
+              "[paper: ~10x]\n",
+              wmax / std::max(mmax, 1e-9));
+  std::printf("thread imbalance (std/mean): walking %.2f, marching %.2f\n",
+              stddev_of(wt) / std::max(wmean, 1e-9),
+              stddev_of(mt) / std::max(mmean, 1e-9));
+
+  // Both kernels render the same field (different discretizations).
+  double rel = 0.0;
+  for (std::size_t i = 0; i < walk_map.size(); ++i)
+    rel += std::abs(walk_map.flat(i) - march_map.flat(i)) /
+           (std::abs(march_map.flat(i)) + 1e-9);
+  std::printf("mean |walking-marching|/marching: %.3f (discretization of the "
+              "z-column)\n", rel / static_cast<double>(walk_map.size()));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Paper Figs. 9 & 10: the galaxy-galaxy lensing experiment — thousands of
+// fields centered on galaxy positions in the densest regions, run through
+// the full four-phase pipeline at increasing rank counts.
+//   Fig. 9a: per-phase times; Fig. 9b: speedup (near-linear until the
+//   partition/model overheads flatten it).
+//   Fig. 10: normalized std of per-rank workload, balanced (executed) vs
+//   unbalanced (model-predicted, no sharing) — imbalance grows as
+//   sub-volumes shrink.
+#include <mutex>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtfe;
+  bench::banner("Figs. 9 & 10 — galaxy-galaxy lensing with load balancing");
+
+  const std::size_t n_fields =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+  const ParticleSet set = bench::planck_like_box(150000, 64.0, 11);
+  const auto centers = bench::fof_centers(set, n_fields);
+  std::printf("dataset: %zu particles; %zu fields on the most massive "
+              "objects\n",
+              set.size(), centers.size());
+
+  PipelineOptions opt;
+  opt.field_length = 4.0;
+  opt.field_resolution = 32;
+  opt.load_balance = true;
+
+  std::vector<bench::PhaseRow> rows;
+  for (const int P : {1, 2, 4, 8, 16, 32}) {
+    bench::PhaseRow row;
+    row.ranks = P;
+    std::mutex mtx;
+    RunningStats balanced_busy;
+    RunningStats unbalanced_pred;
+    simmpi::run(P, [&](simmpi::Comm& comm) {
+      const PipelineResult res = run_pipeline(comm, set, centers, opt);
+      std::lock_guard<std::mutex> lock(mtx);
+      row.partition = std::max(row.partition, res.phases.partition);
+      row.model = std::max(row.model, res.phases.model);
+      row.triangulate = std::max(row.triangulate, res.phases.triangulate);
+      row.render = std::max(row.render, res.phases.render);
+      row.share = std::max(row.share, res.phases.work_share);
+      row.total_max = std::max(row.total_max, res.phases.total());
+      balanced_busy.add(res.phases.triangulate + res.phases.render);
+      unbalanced_pred.add(res.predicted_local_time);
+    });
+    const double bm = std::max(balanced_busy.mean(), 1e-12);
+    const double um = std::max(unbalanced_pred.mean(), 1e-12);
+    row.busy_std_balanced = balanced_busy.stddev() / bm;
+    row.busy_std_unbalanced = unbalanced_pred.stddev() / um;
+    rows.push_back(row);
+    std::printf("P=%2d done (critical path %.2fs)\n", P, row.total_max);
+  }
+
+  bench::print_phase_table(rows, "Fig. 9 — galaxy-galaxy lensing");
+
+  std::printf("\nFig. 10 — workload std (normalized by mean)\n");
+  std::printf("%6s %12s %12s\n", "ranks", "balanced", "unbalanced");
+  for (const auto& r : rows)
+    std::printf("%6d %12.3f %12.3f\n", r.ranks, r.busy_std_balanced,
+                r.busy_std_unbalanced);
+  std::printf("[paper: unbalanced std grows as sub-volumes shrink; balancing "
+              "recovers most of it — speedup ~2.8x at 240 ranks]\n");
+  return 0;
+}

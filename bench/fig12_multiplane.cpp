@@ -1,0 +1,63 @@
+// Paper Fig. 12: the multiplane lensing experiment — fields stacked along
+// observer lines of sight through the complete volume (a mixture of high
+// and low density sub-volumes). Paper observes near-linear scaling with
+// only small deviation and MORE effective work sharing than the
+// galaxy-galaxy case ("more small work items to complete and the variable
+// bin size optimizer can be more efficient").
+#include <mutex>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtfe;
+  bench::banner("Fig. 12 — multiplane lensing with load balancing");
+
+  const std::size_t n_los = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  const std::size_t planes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+  // Lines of sight traverse the COMPLETE volume, so the particle field must
+  // fill space the way an N-body snapshot does: use the cosmic-web
+  // (Zel'dovich) generator rather than isolated halos.
+  const ParticleSet set = bench::gadget_like_box(64, 64.0, 11);
+  const auto centers = bench::multiplane_centers(set, n_los, planes, 5);
+  std::printf("dataset: %zu particles; %zu LOS x %zu planes = %zu fields\n",
+              set.size(), n_los, planes, centers.size());
+
+  PipelineOptions opt;
+  opt.field_length = 6.0;
+  opt.field_resolution = 48;
+  opt.load_balance = true;
+
+  std::vector<bench::PhaseRow> rows;
+  for (const int P : {1, 2, 4, 8, 16, 32}) {
+    bench::PhaseRow row;
+    row.ranks = P;
+    std::mutex mtx;
+    RunningStats balanced_busy, unbalanced_pred;
+    std::size_t shared = 0;
+    simmpi::run(P, [&](simmpi::Comm& comm) {
+      const PipelineResult res = run_pipeline(comm, set, centers, opt);
+      std::lock_guard<std::mutex> lock(mtx);
+      row.partition = std::max(row.partition, res.phases.partition);
+      row.model = std::max(row.model, res.phases.model);
+      row.triangulate = std::max(row.triangulate, res.phases.triangulate);
+      row.render = std::max(row.render, res.phases.render);
+      row.share = std::max(row.share, res.phases.work_share);
+      row.total_max = std::max(row.total_max, res.phases.total());
+      balanced_busy.add(res.phases.triangulate + res.phases.render);
+      unbalanced_pred.add(res.predicted_local_time);
+      shared += res.items_sent;
+    });
+    row.busy_std_balanced =
+        balanced_busy.stddev() / std::max(balanced_busy.mean(), 1e-12);
+    row.busy_std_unbalanced =
+        unbalanced_pred.stddev() / std::max(unbalanced_pred.mean(), 1e-12);
+    rows.push_back(row);
+    std::printf("P=%2d done (critical path %.2fs, %zu items shared)\n", P,
+                row.total_max, shared);
+  }
+
+  bench::print_phase_table(rows, "Fig. 12 — multiplane lensing");
+  std::printf("\n[paper: near-linear scaling with small deviation; work "
+              "sharing more efficient than the galaxy-galaxy case]\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every fig*_ binary regenerates one figure of the paper's evaluation
+// section on scaled-down (but statistically equivalent) generated data and
+// prints the same series the paper plots. EXPERIMENTS.md records the
+// paper-vs-measured comparison for each.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dtfe.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dtfe::bench {
+
+inline void banner(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+/// The clustered "Planck-like" box used by the load-balancing experiments:
+/// NFW halos + background, the regime where galaxy-galaxy lensing requests
+/// concentrate in the densest sub-volumes.
+inline ParticleSet planck_like_box(std::size_t n_particles, double box,
+                                   std::uint64_t seed) {
+  HaloModelOptions gen;
+  gen.n_particles = n_particles;
+  gen.box_length = box;
+  gen.n_halos = std::max<std::size_t>(8, n_particles / 2500);
+  gen.background_fraction = 0.25;
+  gen.seed = seed;
+  return generate_halo_model(gen);
+}
+
+/// Cosmic-web box (Zel'dovich) used by the kernel-comparison experiments —
+/// the analog of the Gadget demo snapshot.
+inline ParticleSet gadget_like_box(std::size_t grid, double box,
+                                   std::uint64_t seed) {
+  ZeldovichOptions gen;
+  gen.grid = grid;
+  gen.box_length = box;
+  gen.rms_displacement = 1.5;
+  gen.seed = seed;
+  return generate_zeldovich(gen);
+}
+
+/// Field centers on the most massive FOF objects (the paper's galaxy /
+/// cluster positions).
+inline std::vector<Vec3> fof_centers(const ParticleSet& set,
+                                     std::size_t count) {
+  FofOptions fof;
+  fof.linking_parameter = 0.2;
+  fof.min_group_size = 16;
+  auto groups = find_fof_groups(set, fof);
+  std::vector<Vec3> centers;
+  for (std::size_t i = 0; i < groups.size() && centers.size() < count; ++i)
+    centers.push_back(groups[i].center);
+  // Pad with positions of random particles in the largest groups if FOF
+  // found fewer objects than requested.
+  Rng rng(1234);
+  while (centers.size() < count && !groups.empty()) {
+    const auto& g = groups[rng.uniform_index(std::min<std::size_t>(8, groups.size()))];
+    centers.push_back(set.positions[g.members[rng.uniform_index(g.size())]]);
+  }
+  return centers;
+}
+
+/// Multiplane configuration: `planes` field centers stacked in z along each
+/// of `n_los` random lines of sight (paper §V-3 "Multiplane Lensing").
+inline std::vector<Vec3> multiplane_centers(const ParticleSet& set,
+                                            std::size_t n_los,
+                                            std::size_t planes,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> centers;
+  for (std::size_t l = 0; l < n_los; ++l) {
+    const double x = rng.uniform(0.0, set.box_length);
+    const double y = rng.uniform(0.0, set.box_length);
+    for (std::size_t p = 0; p < planes; ++p)
+      centers.push_back({x, y,
+                         (static_cast<double>(p) + 0.5) * set.box_length /
+                             static_cast<double>(planes)});
+  }
+  return centers;
+}
+
+struct PhaseRow {
+  int ranks = 0;
+  double partition = 0, model = 0, triangulate = 0, render = 0, share = 0;
+  double total_max = 0;      ///< critical path (max per-rank busy)
+  double busy_std_balanced = 0;
+  double busy_std_unbalanced = 0;  ///< model-predicted no-sharing imbalance
+};
+
+inline void print_phase_table(const std::vector<PhaseRow>& rows,
+                              const char* label) {
+  std::printf("\n%s — per-phase critical-path busy time (s)\n", label);
+  std::printf("%6s %10s %8s %12s %10s %10s %10s\n", "ranks", "partition",
+              "model", "triangulate", "render", "share", "total");
+  for (const auto& r : rows)
+    std::printf("%6d %10.3f %8.3f %12.3f %10.3f %10.3f %10.3f\n", r.ranks,
+                r.partition, r.model, r.triangulate, r.render, r.share,
+                r.total_max);
+  if (!rows.empty() && rows.front().total_max > 0.0) {
+    std::printf("\n%6s %8s %8s\n", "ranks", "speedup", "ideal");
+    for (const auto& r : rows)
+      std::printf("%6d %8.2f %8d\n", r.ranks,
+                  rows.front().total_max / r.total_max * rows.front().ranks,
+                  r.ranks);
+  }
+}
+
+}  // namespace dtfe::bench

@@ -1,0 +1,91 @@
+// Estimator ablations: DTFE vs fixed-kernel grid assignments (NGP/CIC/TSC)
+// for surface density, the adaptive-refinement knob, and power-spectrum
+// measurement throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/dtfe.h"
+
+namespace dtfe {
+namespace {
+
+const ParticleSet& shared_set() {
+  static const ParticleSet* set = [] {
+    HaloModelOptions gen;
+    gen.n_particles = 40000;
+    gen.box_length = 20.0;
+    gen.n_halos = 16;
+    gen.seed = 8;
+    return new ParticleSet(generate_halo_model(gen));
+  }();
+  return *set;
+}
+
+const Reconstructor& shared_recon() {
+  static const Reconstructor* r =
+      new Reconstructor(shared_set().positions, shared_set().particle_mass);
+  return *r;
+}
+
+void BM_AssignSurfaceDensity(benchmark::State& state) {
+  const auto scheme = static_cast<AssignmentScheme>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        assign_surface_density(shared_set(), 128, scheme).sum());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shared_set().size()));
+}
+BENCHMARK(BM_AssignSurfaceDensity)
+    ->Arg(0)  // NGP
+    ->Arg(1)  // CIC
+    ->Arg(2)  // TSC
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DtfeSurfaceDensity(benchmark::State& state) {
+  // Same task as the assignments above (whole-box 128² map) — the price of
+  // the adaptive low-noise estimator, excluding triangulation.
+  const auto& recon = shared_recon();
+  FieldSpec spec;
+  spec.origin = {0, 0};
+  spec.length = 20.0;
+  spec.resolution = 128;
+  spec.zmin = 0;
+  spec.zmax = 20.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(recon.surface_density(spec).sum());
+}
+BENCHMARK(BM_DtfeSurfaceDensity)->Unit(benchmark::kMillisecond);
+
+void BM_DtfeAdaptiveDepth(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  FieldSpec spec;
+  spec.origin = {0, 0};
+  spec.length = 20.0;
+  spec.resolution = 64;
+  spec.zmin = 0;
+  spec.zmax = 20.0;
+  MarchingOptions opt;
+  opt.adaptive_max_depth = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(recon.surface_density(spec, opt).sum());
+}
+BENCHMARK(BM_DtfeAdaptiveDepth)->Arg(0)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_PowerSpectrum3d(benchmark::State& state) {
+  const Grid3D g =
+      assign_density_3d(shared_set(), 64, AssignmentScheme::kCic);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measure_power_spectrum(g, 20.0).size());
+}
+BENCHMARK(BM_PowerSpectrum3d)->Unit(benchmark::kMillisecond);
+
+void BM_VoronoiVolumes(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(voronoi_volumes(recon.triangulation()).size());
+}
+BENCHMARK(BM_VoronoiVolumes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dtfe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Micro-benchmarks for the geometric primitives: filtered vs fast vs exact
+// predicates, and the two ray–tetra algorithms (the Plücker-vs-Möller
+// ablation the paper motivates in §III-C-2).
+#include <benchmark/benchmark.h>
+
+#include "geometry/predicates.h"
+#include "geometry/ray_tetra.h"
+#include "util/rng.h"
+
+namespace dtfe {
+namespace {
+
+std::vector<Vec3> random_vecs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> v(n);
+  for (auto& p : v) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return v;
+}
+
+void BM_Orient3dFiltered(benchmark::State& state) {
+  const auto pts = random_vecs(4096, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient3d(pts[i & 4095], pts[(i + 1) & 4095],
+                                      pts[(i + 2) & 4095],
+                                      pts[(i + 3) & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient3dFiltered);
+
+void BM_Orient3dFast(benchmark::State& state) {
+  const auto pts = random_vecs(4096, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient3d_fast(pts[i & 4095], pts[(i + 1) & 4095],
+                                           pts[(i + 2) & 4095],
+                                           pts[(i + 3) & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient3dFast);
+
+void BM_Orient3dExactFallback(benchmark::State& state) {
+  // Coplanar input forces the expansion-arithmetic path every call.
+  const Vec3 a{0, 0, 0}, b{1, 0, 1}, c{0, 1, 1};
+  Rng rng(2);
+  for (auto _ : state) {
+    const double x = static_cast<double>(rng.uniform_index(1 << 20)) * 0x1p-20;
+    const double y = static_cast<double>(rng.uniform_index(1 << 20)) * 0x1p-20;
+    benchmark::DoNotOptimize(orient3d(a, b, c, {x, y, x + y}));
+  }
+}
+BENCHMARK(BM_Orient3dExactFallback);
+
+void BM_InsphereFiltered(benchmark::State& state) {
+  const auto pts = random_vecs(4096, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(insphere(pts[i & 4095], pts[(i + 1) & 4095],
+                                      pts[(i + 2) & 4095], pts[(i + 3) & 4095],
+                                      pts[(i + 4) & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InsphereFiltered);
+
+void BM_InsphereExactFallback(benchmark::State& state) {
+  // Cospherical configuration: exact expansion path every call.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  const Vec3 on{1, 1, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(insphere(a, b, c, d, on));
+}
+BENCHMARK(BM_InsphereExactFallback);
+
+const std::array<Vec3, 4> kTet = {Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0},
+                                  Vec3{0, 0, 1}};
+
+void BM_RayTetraPlucker(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Vec2> xis(1024);
+  for (auto& x : xis) x = {rng.uniform(0.05, 0.4), rng.uniform(0.05, 0.4)};
+  std::size_t i = 0;
+  const Vec3 dir{0, 0, 1};
+  for (auto _ : state) {
+    const Vec3 origin{xis[i & 1023].x, xis[i & 1023].y, 0.0};
+    benchmark::DoNotOptimize(line_tetra_plucker(
+        PluckerLine::from_point_dir(origin, dir), origin, dir, kTet));
+    ++i;
+  }
+}
+BENCHMARK(BM_RayTetraPlucker);
+
+void BM_RayTetraMoller(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Vec2> xis(1024);
+  for (auto& x : xis) x = {rng.uniform(0.05, 0.4), rng.uniform(0.05, 0.4)};
+  std::size_t i = 0;
+  const Vec3 dir{0, 0, 1};
+  for (auto _ : state) {
+    const Vec3 origin{xis[i & 1023].x, xis[i & 1023].y, 0.0};
+    benchmark::DoNotOptimize(line_tetra_moller(origin, dir, kTet));
+    ++i;
+  }
+}
+BENCHMARK(BM_RayTetraMoller);
+
+}  // namespace
+}  // namespace dtfe
+
+BENCHMARK_MAIN();

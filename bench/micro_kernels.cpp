@@ -1,0 +1,100 @@
+// Kernel ablations: marching vs walking vs zero-order per rendered cell,
+// Monte Carlo sampling counts, walking z-resolution sweep (the cost knob the
+// marching kernel eliminates), and the Plücker-vs-Möller march.
+#include <benchmark/benchmark.h>
+
+#include "core/reconstructor.h"
+#include "nbody/generators.h"
+
+namespace dtfe {
+namespace {
+
+const Reconstructor& shared_recon() {
+  static const Reconstructor* recon = [] {
+    HaloModelOptions gen;
+    gen.n_particles = 30000;
+    gen.box_length = 10.0;
+    gen.n_halos = 12;
+    gen.seed = 4;
+    const auto set = generate_halo_model(gen);
+    return new Reconstructor(set.positions, set.particle_mass);
+  }();
+  return *recon;
+}
+
+FieldSpec bench_spec(std::size_t ng) {
+  FieldSpec spec;
+  spec.origin = {1.0, 1.0};
+  spec.length = 8.0;
+  spec.resolution = ng;
+  spec.zmin = 1.0;
+  spec.zmax = 9.0;
+  return spec;
+}
+
+void BM_MarchingRender(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  const auto spec = bench_spec(static_cast<std::size_t>(state.range(0)));
+  MarchingOptions opt;
+  opt.monte_carlo_samples = static_cast<int>(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(recon.surface_density(spec, opt).sum());
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_MarchingRender)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MarchingRenderMoller(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  const auto spec = bench_spec(64);
+  MarchingOptions opt;
+  opt.use_moller_trumbore = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(recon.surface_density(spec, opt).sum());
+}
+BENCHMARK(BM_MarchingRenderMoller)->Unit(benchmark::kMillisecond);
+
+void BM_WalkingRender(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  const auto spec = bench_spec(64);
+  WalkingOptions opt;
+  opt.z_resolution = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(recon.surface_density_walking(spec, opt).sum());
+}
+BENCHMARK(BM_WalkingRender)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ZeroOrderRender(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  const auto spec = bench_spec(64);
+  TessOptions opt;
+  opt.z_resolution = 64;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        recon.surface_density_zero_order(spec, opt).sum());
+}
+BENCHMARK(BM_ZeroOrderRender)->Unit(benchmark::kMillisecond);
+
+void BM_IntegrateSingleLine(benchmark::State& state) {
+  const auto& recon = shared_recon();
+  double x = 1.0;
+  for (auto _ : state) {
+    x += 0.013;
+    if (x > 9.0) x = 1.0;
+    benchmark::DoNotOptimize(recon.integrate_los(x, 5.0, 1.0, 9.0));
+  }
+}
+BENCHMARK(BM_IntegrateSingleLine);
+
+}  // namespace
+}  // namespace dtfe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Scheduler component costs: CreateCommunicationList and the first-fit bin
+// packer at paper-scale rank/item counts (the a-priori schedule must stay
+// negligible next to the compute it balances).
+#include <benchmark/benchmark.h>
+
+#include "framework/des.h"
+#include "framework/schedule.h"
+#include "util/binpack.h"
+#include "util/rng.h"
+
+namespace dtfe {
+namespace {
+
+std::vector<RankWork> random_work(int P, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RankWork> w(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r)
+    w[static_cast<std::size_t>(r)] = {r, std::pow(rng.uniform(), 3.0) * 100.0};
+  return w;
+}
+
+void BM_CreateCommunicationList(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const auto work = random_work(P, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(create_communication_list(work, P / 2));
+  state.SetItemsProcessed(state.iterations() * P);
+}
+BENCHMARK(BM_CreateCommunicationList)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FirstFitPacking(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> items(n), bins(n / 4 + 1);
+  for (auto& x : items) x = rng.uniform(0.1, 2.0);
+  for (auto& b : bins) b = rng.uniform(1.0, 8.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pack_first_fit(items, bins).overflow);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FirstFitPacking)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_DesSimulation(benchmark::State& state) {
+  const auto P = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<double>> items(P);
+  for (auto& v : items) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(rng.uniform(0.1, 3.0));
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        simulate_work_sharing(items, items, {}).makespan_balanced);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(P));
+}
+BENCHMARK(BM_DesSimulation)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dtfe
+
+BENCHMARK_MAIN();

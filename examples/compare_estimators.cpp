@@ -1,0 +1,71 @@
+// Estimator comparison (paper Fig. 8): render the same volume with the
+// first-order DTFE marching kernel and the zero-order Voronoi (TESS/DENSE)
+// estimator, write both maps, their log10 ratio map, and the ratio
+// histogram.
+//
+//   $ ./compare_estimators [n_particles] [grid]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dtfe.h"
+#include "util/image.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80000;
+  const std::size_t ng = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 192;
+
+  dtfe::ZeldovichOptions gen;
+  gen.grid = 64;
+  gen.box_length = 32.0;
+  gen.rms_displacement = 1.5;
+  gen.seed = 9;
+  dtfe::ParticleSet set = dtfe::generate_zeldovich(gen);
+  if (set.size() > n) {
+    // Random subsample (the generator emits lattice order; truncating would
+    // keep a thin slab instead of a sparser box).
+    dtfe::Rng rng(99);
+    for (std::size_t i = set.positions.size(); i > 1; --i)
+      std::swap(set.positions[i - 1], set.positions[rng.uniform_index(i)]);
+    set.positions.resize(n);
+  }
+  std::printf("using %zu particles\n", set.size());
+
+  const dtfe::Reconstructor recon(set.positions, set.particle_mass);
+
+  dtfe::FieldSpec spec;
+  spec.origin = {2.0, 2.0};
+  spec.length = set.box_length - 4.0;
+  spec.resolution = ng;
+  spec.zmin = 2.0;
+  spec.zmax = set.box_length - 2.0;
+
+  std::printf("rendering DTFE (first order, marching)...\n");
+  const dtfe::Grid2D dtfe_map = recon.surface_density(spec);
+  std::printf("rendering TESS/DENSE (zero order, Voronoi)...\n");
+  dtfe::TessOptions topt;
+  topt.z_resolution = ng;
+  const dtfe::Grid2D tess_map = recon.surface_density_zero_order(spec, topt);
+
+  dtfe::write_log_pgm("estimator_dtfe.pgm", dtfe_map.values(), ng, ng);
+  dtfe::write_log_pgm("estimator_tess.pgm", tess_map.values(), ng, ng);
+
+  // Ratio map + histogram, exactly the paper's diagnostics.
+  std::vector<double> ratio(dtfe_map.size(), 0.0);
+  dtfe::Histogram hist(-2.0, 2.0, 41);
+  for (std::size_t i = 0; i < ratio.size(); ++i) {
+    const double a = dtfe_map.flat(i), b = tess_map.flat(i);
+    if (a > 0.0 && b > 0.0) {
+      ratio[i] = std::log10(a / b);
+      hist.add(ratio[i]);
+    }
+  }
+  dtfe::write_diverging_ppm("estimator_ratio.ppm", ratio, ng, ng, 2.0);
+  std::printf("wrote estimator_dtfe.pgm estimator_tess.pgm estimator_ratio.ppm\n");
+  std::printf("\nlog10(DTFE/DENSE) histogram:\n%s", hist.render().c_str());
+  std::printf("mode bin center: %+0.3f (0 = estimators agree)\n",
+              hist.bin_center(hist.mode_bin()));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The paper's motivating end-to-end use: from N-body particles to strong-
+// lensing observables. Reconstruct the surface density of the most massive
+// cluster with the DTFE marching kernel, then derive the thin-lens maps
+// (convergence, deflection, shear, magnification) and report the
+// strong-lensing cross-section.
+//
+//   $ ./lensing_pipeline [n_particles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dtfe.h"
+#include "dtfe/lensing.h"
+#include "util/image.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80000;
+
+  dtfe::HaloModelOptions gen;
+  gen.n_particles = n;
+  gen.box_length = 64.0;
+  gen.n_halos = 32;
+  gen.seed = 17;
+  const dtfe::ParticleSet set = dtfe::generate_halo_model(gen);
+
+  const auto groups = dtfe::find_fof_groups(set);
+  const dtfe::Vec3 target = groups.at(0).center;
+  std::printf("lensing the most massive object (%zu member particles)\n",
+              groups[0].size());
+
+  // Sub-volume reconstruction, exactly as the distributed pipeline does it.
+  const double field_length = 8.0;
+  const auto cube = dtfe::extract_cube(set, target, 1.3 * field_length);
+  const dtfe::Reconstructor recon(cube, set.particle_mass);
+  const std::size_t ng = 256;
+  const dtfe::FieldSpec spec =
+      dtfe::FieldSpec::centered(target, field_length, ng);
+  const dtfe::Grid2D sigma = recon.surface_density(spec);
+  dtfe::write_log_pgm("lens_sigma.pgm", sigma.values(), ng, ng);
+
+  // Thin lens: pick Σ_crit so the cluster is supercritical in its core
+  // (κ_max ~ a few), as in a strong-lensing configuration.
+  dtfe::RunningStats st;
+  for (const double v : sigma.values()) st.add(v);
+  dtfe::LensingOptions lopt;
+  lopt.sigma_critical = st.max() / 4.0;
+  lopt.extent = field_length;
+  const dtfe::LensingMaps maps = dtfe::compute_lensing_maps(sigma, lopt);
+
+  dtfe::write_log_pgm("lens_kappa.pgm", maps.convergence.values(), ng, ng);
+  dtfe::write_diverging_ppm("lens_shear1.ppm", maps.shear1.values(), ng, ng,
+                            0.5);
+  // log |μ| shows the critical curves as bright ridges
+  std::vector<double> logmu(maps.magnification.size());
+  for (std::size_t i = 0; i < logmu.size(); ++i)
+    logmu[i] = std::log10(std::abs(maps.magnification.flat(i)));
+  dtfe::write_pgm("lens_magnification.pgm", logmu, ng, ng, -1.0, 3.0);
+  std::printf("wrote lens_sigma.pgm lens_kappa.pgm lens_shear1.ppm "
+              "lens_magnification.pgm\n");
+
+  // Strong-lensing diagnostics.
+  std::size_t supercritical = 0, high_mu = 0;
+  for (std::size_t i = 0; i < maps.convergence.size(); ++i) {
+    if (maps.convergence.flat(i) > 1.0) ++supercritical;
+    if (std::abs(maps.magnification.flat(i)) > 10.0) ++high_mu;
+  }
+  const double cell_area = spec.cell_size() * spec.cell_size();
+  std::printf("κ_max = %.2f; supercritical area %.2f (Mpc/h)², |μ|>10 area "
+              "%.2f (Mpc/h)²\n",
+              st.max() / lopt.sigma_critical,
+              static_cast<double>(supercritical) * cell_area,
+              static_cast<double>(high_mu) * cell_area);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Arbitrary projection directions (paper §IV-A-2: "any arbitrary direction
+// can be chosen by a simple rotation of the triangulation"): render the same
+// clustered box along z, x, and an oblique diagonal, plus an adaptively
+// refined version of the oblique view.
+//
+//   $ ./projected_views [n_particles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dtfe.h"
+#include "util/image.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40000;
+
+  dtfe::HaloModelOptions gen;
+  gen.n_particles = n;
+  gen.box_length = 40.0;
+  gen.n_halos = 16;
+  gen.seed = 21;
+  const dtfe::ParticleSet set = dtfe::generate_halo_model(gen);
+  const dtfe::Reconstructor recon(set.positions, set.particle_mass);
+  std::printf("reconstructed %zu particles\n", set.size());
+
+  const std::size_t ng = 256;
+  auto render_along = [&](const dtfe::Vec3& dir, const char* file) {
+    // Rotate the triangulation so `dir` becomes the line of sight, then
+    // frame the whole rotated cloud.
+    const dtfe::Reconstructor view = recon.rotated_for_direction(dir);
+    dtfe::FieldSpec spec;
+    spec.origin = {view.hull().lo().x, view.hull().lo().y};
+    spec.length = std::max(view.hull().hi().x - view.hull().lo().x,
+                           view.hull().hi().y - view.hull().lo().y);
+    spec.resolution = ng;
+    const dtfe::Grid2D map = view.surface_density(spec);
+    dtfe::write_log_pgm(file, map.values(), ng, ng);
+    std::printf("wrote %-28s (direction %+0.2f %+0.2f %+0.2f, total mass on "
+                "grid %.0f)\n",
+                file, dir.x, dir.y, dir.z,
+                map.sum() * spec.cell_size() * spec.cell_size());
+    return spec;
+  };
+
+  render_along({0, 0, 1}, "view_along_z.pgm");
+  render_along({1, 0, 0}, "view_along_x.pgm");
+  const auto spec = render_along({1, 1, 1}, "view_oblique.pgm");
+
+  // Dynamic grid spacing on the oblique view: refine cells whose corner
+  // integrals disagree (resolves halo cores a fixed grid misses).
+  const dtfe::Reconstructor view = recon.rotated_for_direction({1, 1, 1});
+  dtfe::MarchingOptions adaptive;
+  adaptive.adaptive_max_depth = 3;
+  const dtfe::Grid2D refined = view.surface_density(spec, adaptive);
+  dtfe::write_log_pgm("view_oblique_adaptive.pgm", refined.values(), ng, ng);
+  std::printf("wrote view_oblique_adaptive.pgm (adaptive refinement depth 3)\n");
+  return 0;
+}

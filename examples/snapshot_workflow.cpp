@@ -1,0 +1,65 @@
+// End-to-end snapshot workflow (paper §IV-B): write a blocked snapshot the
+// way a volume-decomposed N-body code would, then run the distributed
+// pipeline off the file — each rank reads an arbitrary subset of blocks
+// (round-robin), redistributes to owners, exchanges ghosts, and computes its
+// fields with load balancing.
+//
+//   $ ./snapshot_workflow [n_ranks]
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/dtfe.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 6;
+  const char* path = "snapshot_demo.bin";
+
+  // "Simulation output": a clustered box written as 4³ spatially contiguous
+  // blocks, one per writing rank of the pretend simulation.
+  dtfe::HaloModelOptions gen;
+  gen.n_particles = 60000;
+  gen.box_length = 48.0;
+  gen.n_halos = 24;
+  gen.seed = 5;
+  const dtfe::ParticleSet set = dtfe::generate_halo_model(gen);
+  dtfe::write_snapshot(path, set, 4);
+  const auto header = dtfe::read_snapshot_header(path);
+  std::printf("wrote %s: %llu particles in %zu blocks\n", path,
+              static_cast<unsigned long long>(header.n_particles),
+              header.blocks.size());
+
+  // Field requests at the most massive objects.
+  const auto groups = dtfe::find_fof_groups(set);
+  std::vector<dtfe::Vec3> centers;
+  for (std::size_t i = 0; i < groups.size() && centers.size() < 20; ++i)
+    centers.push_back(groups[i].center);
+
+  dtfe::PipelineOptions opt;
+  opt.field_length = 4.0;
+  opt.field_resolution = 48;
+  opt.keep_grids = true;
+
+  std::mutex mtx;
+  dtfe::RunningStats busy;
+  double total_mass = 0.0;
+  dtfe::simmpi::run(ranks, [&](dtfe::simmpi::Comm& comm) {
+    const auto res = dtfe::run_pipeline_from_snapshot(comm, path, centers, opt);
+    std::lock_guard<std::mutex> lock(mtx);
+    busy.add(res.phases.total());
+    const double area = opt.field_length / opt.field_resolution *
+                        opt.field_length / opt.field_resolution;
+    for (const auto& g : res.grids) total_mass += g.sum() * area;
+    std::printf("rank %d: read+owned %zu particles (+%zu ghosts), computed "
+                "%zu fields\n",
+                comm.rank(), res.owned_particles, res.ghost_particles,
+                res.items.size());
+  });
+
+  std::printf("\n%zu fields hold %.0f particle masses in total; busy "
+              "mean/max = %.2f/%.2f s\n",
+              centers.size(), total_mass, busy.mean(), busy.max());
+  std::remove(path);
+  return 0;
+}

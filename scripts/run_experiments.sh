@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure and the micro/ablation suite.
+#
+#   scripts/run_experiments.sh [build-dir]
+#
+# Writes console output to experiments_<date>.log in the current directory
+# and leaves the figures' image artifacts (*.pgm/*.ppm) beside it.
+set -u
+BUILD="${1:-build}"
+LOG="experiments_$(date +%Y%m%d_%H%M%S).log"
+
+{
+  echo "== pdtfe experiment sweep ($(date)) =="
+  for b in "$BUILD"/bench/fig*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    case "$b" in (*.pgm|*.ppm) continue ;; esac
+    echo; echo "### $(basename "$b")"
+    "$b" || echo "FAILED: $b"
+  done
+  for b in "$BUILD"/bench/micro_*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo; echo "### $(basename "$b")"
+    "$b" --benchmark_min_time=0.2s || echo "FAILED: $b"
+  done
+} 2>&1 | tee "$LOG"
+
+echo "wrote $LOG"

@@ -1,0 +1,132 @@
+#include "delaunay/voronoi.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geometry/tetra_math.h"
+#include "util/error.h"
+
+namespace dtfe {
+
+namespace {
+// Ring walk from a known incident start cell (the hot path: callers that
+// already hold v's incident-cell list avoid an O(degree²) rediscovery).
+bool edge_cell_ring_from(const Triangulation& tri, VertexId v, VertexId u,
+                         CellId start, std::vector<CellId>& ring) {
+  ring.clear();
+
+  // Rotate around the edge: in a cell with "other" vertices {a, b}, crossing
+  // the face opposite a leaves through the shared face (v,u,b); continuing
+  // the rotation then crosses the face opposite b in the next cell.
+  VertexId pivot = Triangulation::kInfinite;
+  {
+    const auto& t = tri.cell(start);
+    for (int s = 0; s < 4; ++s)
+      if (t.v[s] != v && t.v[s] != u) {
+        pivot = t.v[s];
+        break;
+      }
+  }
+
+  CellId c = start;
+  for (int guard = 0; guard < 1024; ++guard) {
+    ring.push_back(c);
+    if (tri.is_infinite(c)) return false;  // hull edge: unbounded dual facet
+    const auto& t = tri.cell(c);
+    VertexId shared3 = Triangulation::kInfinite;
+    for (int s = 0; s < 4; ++s)
+      if (t.v[s] != v && t.v[s] != u && t.v[s] != pivot) {
+        shared3 = t.v[s];
+        break;
+      }
+    const CellId next = t.n[tri.index_of(c, pivot)];
+    pivot = shared3;
+    c = next;
+    if (c == start) return true;
+  }
+  throw Error("edge_cell_ring failed to close");
+}
+}  // namespace
+
+bool edge_cell_ring(const Triangulation& tri, VertexId v, VertexId u,
+                    std::vector<CellId>& ring) {
+  CellId start = Triangulation::kNoCell;
+  {
+    std::vector<CellId> incident;
+    tri.incident_cells(v, incident);
+    for (const CellId c : incident)
+      if (tri.index_of(c, u) >= 0) {
+        start = c;
+        break;
+      }
+  }
+  DTFE_CHECK_MSG(start != Triangulation::kNoCell,
+                 "edge_cell_ring: (v,u) is not a Delaunay edge");
+  return edge_cell_ring_from(tri, v, u, start, ring);
+}
+
+std::vector<double> voronoi_volumes(const Triangulation& tri) {
+  const std::size_t nv = tri.num_vertices();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> vol(nv, 0.0);
+
+  // Circumcenters of all finite cells, cached.
+  std::vector<Vec3> center(tri.cell_storage_size());
+  for (std::size_t i = 0; i < tri.cell_storage_size(); ++i) {
+    const auto c = static_cast<CellId>(i);
+    if (!tri.cell_alive(c) || tri.is_infinite(c)) continue;
+    const auto p = tri.cell_points(c);
+    center[i] = tetra_circumcenter(p[0], p[1], p[2], p[3]);
+  }
+
+  std::vector<VertexId> nbrs;
+  std::vector<CellId> scratch, ring;
+  for (std::size_t vi = 0; vi < nv; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    if (tri.is_duplicate(v)) continue;
+    const Vec3 pv = tri.point(v);
+    tri.vertex_neighbors(v, nbrs, scratch);
+
+    double volume = 0.0;
+    bool bounded = true;
+    for (const VertexId u : nbrs) {
+      // `scratch` still holds v's incident cells from vertex_neighbors():
+      // pick the ring start from it instead of re-walking v's star.
+      CellId start = Triangulation::kNoCell;
+      for (const CellId c : scratch)
+        if (tri.index_of(c, u) >= 0) {
+          start = c;
+          break;
+        }
+      DTFE_CHECK(start != Triangulation::kNoCell);
+      if (!edge_cell_ring_from(tri, v, u, start, ring)) {
+        bounded = false;
+        break;
+      }
+      // Dual facet polygon: ring circumcenters in the bisector plane of
+      // (v,u). Work relative to v for conditioning.
+      Vec3 area2{0, 0, 0};  // twice the vector area
+      const Vec3 c0 = center[static_cast<std::size_t>(ring[0])] - pv;
+      for (std::size_t k = 1; k + 1 < ring.size(); ++k) {
+        const Vec3 a = center[static_cast<std::size_t>(ring[k])] - pv;
+        const Vec3 b = center[static_cast<std::size_t>(ring[k + 1])] - pv;
+        area2 += (a - c0).cross(b - c0);
+      }
+      const Vec3 d = tri.point(u) - pv;
+      const double dn = d.norm();
+      if (dn == 0.0) continue;
+      const Vec3 n_out = d / dn;
+      // Divergence theorem: V += (1/3) · Area · (n̂_out · x_plane); the
+      // bisector midpoint d/2 lies on the facet plane, so n̂·x = |d|/2.
+      const double area = 0.5 * std::abs(area2.dot(n_out));
+      volume += (1.0 / 3.0) * area * (0.5 * dn);
+    }
+    vol[vi] = bounded ? volume : kInf;
+  }
+
+  for (std::size_t vi = 0; vi < nv; ++vi)
+    vol[vi] = vol[static_cast<std::size_t>(tri.duplicate_of(static_cast<VertexId>(vi)))];
+  return vol;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,31 @@
+// Exact Voronoi cell volumes from the Delaunay dual.
+//
+// The Voronoi cell of vertex v is bounded by one convex polygonal facet per
+// Delaunay edge (v,u): the polygon whose corners are the circumcenters of
+// the cells around that edge, lying in the bisector plane of (v,u). The cell
+// volume follows from the divergence theorem over those facets. Vertices on
+// the convex hull have unbounded cells and are reported as infinity.
+//
+// This is the density normalization the zero-order (TESS/DENSE-style)
+// estimator needs: ρ(x_i) = m_i / V_vor(x_i) integrates to the total mass
+// exactly, unlike the star-volume approximation.
+#pragma once
+
+#include <vector>
+
+#include "delaunay/triangulation.h"
+
+namespace dtfe {
+
+/// Per-vertex Voronoi cell volumes; hull vertices get
+/// std::numeric_limits<double>::infinity(). Duplicated input points alias
+/// their representative.
+std::vector<double> voronoi_volumes(const Triangulation& tri);
+
+/// The cells around the Delaunay edge (v,u), in rotation order. Returns
+/// false if the ring touches an infinite cell (edge on the convex hull).
+/// Exposed for tests.
+bool edge_cell_ring(const Triangulation& tri, VertexId v, VertexId u,
+                    std::vector<CellId>& ring);
+
+}  // namespace dtfe

@@ -1,0 +1,106 @@
+// Field containers and field-request descriptions.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geometry/vec3.h"
+#include "util/error.h"
+
+namespace dtfe {
+
+/// Dense row-major 2D scalar field (the surface density grids).
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::size_t nx, std::size_t ny, double fill = 0.0)
+      : nx_(nx), ny_(ny), data_(nx * ny, fill) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t ix, std::size_t iy) { return data_[iy * nx_ + ix]; }
+  double at(std::size_t ix, std::size_t iy) const { return data_[iy * nx_ + ix]; }
+  double& flat(std::size_t i) { return data_[i]; }
+  double flat(std::size_t i) const { return data_[i]; }
+  std::span<const double> values() const { return data_; }
+  std::span<double> values() { return data_; }
+
+  double sum() const {
+    double s = 0.0;
+    for (double v : data_) s += v;
+    return s;
+  }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dense 3D scalar field (intermediate representation of the walking-based
+/// baseline renderers).
+class Grid3D {
+ public:
+  Grid3D() = default;
+  Grid3D(std::size_t nx, std::size_t ny, std::size_t nz, double fill = 0.0)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t ix, std::size_t iy, std::size_t iz) {
+    return data_[(iz * ny_ + iy) * nx_ + ix];
+  }
+  double at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return data_[(iz * ny_ + iy) * nx_ + ix];
+  }
+  std::span<const double> values() const { return data_; }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// Where and how to compute one surface density field: a square Ng×Ng grid
+/// in the xy-plane integrated along z over [zmin, zmax] (defaults: the whole
+/// mesh). This mirrors the paper's field requests: a center point plus a
+/// physical side length and a resolution shared by all requests.
+struct FieldSpec {
+  Vec2 origin;                ///< lower-left corner of the grid
+  double length = 1.0;        ///< physical x-extent of the field
+  std::size_t resolution = 64;///< Ng (cells along x)
+  /// Cells along y; 0 = square field (resolution × resolution). Cells are
+  /// always square: the y-extent is resolution_y · cell_size().
+  std::size_t resolution_y = 0;
+  double zmin = -std::numeric_limits<double>::infinity();
+  double zmax = std::numeric_limits<double>::infinity();
+
+  std::size_t nx() const { return resolution; }
+  std::size_t ny() const { return resolution_y ? resolution_y : resolution; }
+
+  static FieldSpec centered(const Vec3& center, double length,
+                            std::size_t resolution) {
+    FieldSpec s;
+    s.origin = {center.x - 0.5 * length, center.y - 0.5 * length};
+    s.length = length;
+    s.resolution = resolution;
+    s.zmin = center.z - 0.5 * length;
+    s.zmax = center.z + 0.5 * length;
+    return s;
+  }
+
+  double cell_size() const { return length / static_cast<double>(resolution); }
+  /// Representative point ξ of 2D cell (ix, iy): the cell center.
+  Vec2 cell_center(std::size_t ix, std::size_t iy) const {
+    const double h = cell_size();
+    return {origin.x + (static_cast<double>(ix) + 0.5) * h,
+            origin.y + (static_cast<double>(iy) + 0.5) * h};
+  }
+};
+
+}  // namespace dtfe

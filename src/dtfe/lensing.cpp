@@ -1,0 +1,116 @@
+#include "dtfe/lensing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/error.h"
+#include "util/fft.h"
+
+namespace dtfe {
+
+namespace {
+
+/// In-place 2D FFT of an n×n complex field (row-major).
+void fft_2d(std::vector<std::complex<double>>& f, std::size_t n,
+            bool inverse) {
+  for (std::size_t iy = 0; iy < n; ++iy)
+    fft_1d(std::span(&f[iy * n], n), inverse);
+  std::vector<std::complex<double>> col(n);
+  for (std::size_t ix = 0; ix < n; ++ix) {
+    for (std::size_t iy = 0; iy < n; ++iy) col[iy] = f[iy * n + ix];
+    fft_1d(col, inverse);
+    for (std::size_t iy = 0; iy < n; ++iy) f[iy * n + ix] = col[iy];
+  }
+}
+
+double kmode(std::size_t i, std::size_t n, double dk) {
+  auto ii = static_cast<std::ptrdiff_t>(i);
+  if (ii >= static_cast<std::ptrdiff_t>(n / 2))
+    ii -= static_cast<std::ptrdiff_t>(n);
+  return dk * static_cast<double>(ii);
+}
+
+Grid2D real_part(const std::vector<std::complex<double>>& f, std::size_t n) {
+  Grid2D g(n, n);
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix)
+      g.at(ix, iy) = f[iy * n + ix].real();
+  return g;
+}
+
+}  // namespace
+
+LensingMaps compute_lensing_maps(const Grid2D& surface_density,
+                                 const LensingOptions& opt) {
+  const std::size_t n = surface_density.nx();
+  DTFE_CHECK_MSG(surface_density.ny() == n, "Σ grid must be square");
+  DTFE_CHECK_MSG(n >= 2 && (n & (n - 1)) == 0,
+                 "Σ grid resolution must be a power of 2");
+  DTFE_CHECK(opt.sigma_critical > 0.0);
+  DTFE_CHECK(opt.extent > 0.0);
+
+  LensingMaps maps;
+  maps.convergence = Grid2D(n, n);
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix)
+      maps.convergence.at(ix, iy) =
+          surface_density.at(ix, iy) / opt.sigma_critical;
+
+  // κ̂(k), mean removed (the DC mode of ψ is pure gauge).
+  std::vector<std::complex<double>> kappa_k(n * n);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) mean += maps.convergence.flat(i);
+  mean /= static_cast<double>(n * n);
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix)
+      kappa_k[iy * n + ix] = maps.convergence.at(ix, iy) - mean;
+  fft_2d(kappa_k, n, /*inverse=*/false);
+
+  // Spectral solves: ψ̂ = −2κ̂/k², α̂ = i k ψ̂, γ̂ from second derivatives.
+  const double dk = 2.0 * M_PI / opt.extent;
+  std::vector<std::complex<double>> psi_k(n * n), ax_k(n * n), ay_k(n * n),
+      g1_k(n * n), g2_k(n * n);
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const std::size_t idx = iy * n + ix;
+      const double kx = kmode(ix, n, dk);
+      const double ky = kmode(iy, n, dk);
+      const double k2 = kx * kx + ky * ky;
+      if (k2 == 0.0) continue;
+      const std::complex<double> psi = -2.0 * kappa_k[idx] / k2;
+      psi_k[idx] = psi;
+      ax_k[idx] = std::complex<double>(0, kx) * psi;
+      ay_k[idx] = std::complex<double>(0, ky) * psi;
+      g1_k[idx] = 0.5 * (ky * ky - kx * kx) * psi;  // ½(ψ,xx − ψ,yy)
+      g2_k[idx] = -kx * ky * psi;                   // ψ,xy
+    }
+  fft_2d(psi_k, n, true);
+  fft_2d(ax_k, n, true);
+  fft_2d(ay_k, n, true);
+  fft_2d(g1_k, n, true);
+  fft_2d(g2_k, n, true);
+
+  maps.potential = real_part(psi_k, n);
+  maps.deflection_x = real_part(ax_k, n);
+  maps.deflection_y = real_part(ay_k, n);
+  maps.shear1 = real_part(g1_k, n);
+  maps.shear2 = real_part(g2_k, n);
+
+  maps.magnification = Grid2D(n, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    const double k = maps.convergence.flat(i);
+    const double g1 = maps.shear1.flat(i);
+    const double g2 = maps.shear2.flat(i);
+    const double det = (1.0 - k) * (1.0 - k) - g1 * g1 - g2 * g2;
+    double mu = std::abs(det) < 1.0 / opt.magnification_clamp
+                    ? opt.magnification_clamp
+                    : 1.0 / det;
+    mu = std::clamp(mu, -opt.magnification_clamp, opt.magnification_clamp);
+    maps.magnification.flat(i) = mu;
+  }
+  return maps;
+}
+
+}  // namespace dtfe

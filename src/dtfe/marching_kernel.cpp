@@ -1,0 +1,299 @@
+#include "dtfe/marching_kernel.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/ray_tetra.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace dtfe {
+
+namespace {
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+double rand_unit(std::uint64_t& s) {
+  return static_cast<double>(next_rand(s) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+MarchingKernel::MarchingKernel(const DensityField& density,
+                               const HullProjection& hull, MarchingOptions opt)
+    : density_(&density), hull_(&hull), opt_(opt) {
+  DTFE_CHECK(opt_.monte_carlo_samples >= 1);
+  DTFE_CHECK(opt_.max_perturb_retries >= 1);
+}
+
+MarchingKernel::LineResult MarchingKernel::march_line(
+    Vec2 xi, double zmin, double zmax, std::uint64_t& rng) const {
+  const Triangulation& tri = density_->triangulation();
+  LineResult out;
+
+  // The perturbation scale is relative to the silhouette extent when no grid
+  // context is available; render() passes grid-cell-relative epsilons by
+  // pre-scaling opt_.perturb_epsilon.
+  const double eps =
+      opt_.perturb_epsilon *
+      std::max(hull_->hi().x - hull_->lo().x, hull_->hi().y - hull_->lo().y);
+
+  // Fixed-plane sampling mode (Eq. 4 semantics; see MarchingOptions).
+  const int nz = opt_.z_samples;
+  const double dz = nz > 0 ? (zmax - zmin) / nz : 0.0;
+
+  // Accumulate one tetra's contribution over the clamped interval [a, b).
+  auto accumulate = [&](CellId c, double a, double b, double& sigma) {
+    a = std::max(a, zmin);
+    b = std::min(b, zmax);
+    if (b <= a) return;
+    if (nz <= 0) {
+      // Exact per-tetra integral at the interval midpoint (Eq. 12).
+      const Vec3 mid{xi.x, xi.y, 0.5 * (a + b)};
+      sigma += density_->interpolate_in_cell(c, mid) * (b - a);
+      return;
+    }
+    // Fixed z-planes within [a, b): the interpolant restricted to the
+    // column is base + g_z·z, one multiply-add per sample.
+    const Triangulation& tri = density_->triangulation();
+    const auto& t = tri.cell(c);
+    const Vec3& x0 = tri.point(t.v[0]);
+    const Vec3& g = density_->cell_gradient(c);
+    const double base = density_->vertex_density(t.v[0]) +
+                        g.x * (xi.x - x0.x) + g.y * (xi.y - x0.y) -
+                        g.z * x0.z;
+    auto k = static_cast<std::ptrdiff_t>(std::ceil((a - zmin) / dz - 0.5));
+    if (k < 0) k = 0;
+    for (; k < nz; ++k) {
+      const double z = zmin + (static_cast<double>(k) + 0.5) * dz;
+      if (z >= b) break;
+      sigma += (base + g.z * z) * dz;
+    }
+  };
+
+  const bool fast_path = !opt_.use_moller_trumbore && !opt_.use_general_plucker;
+
+  for (int attempt = 0;; ++attempt) {
+    const auto entry = hull_->first_entry(xi);
+    const CellId start = entry.cell;
+    if (start == Triangulation::kNoCell) {
+      out.empty = true;
+      return out;
+    }
+
+    const Vec3 origin{xi.x, xi.y, 0.0};
+    const Vec3 dir{0.0, 0.0, 1.0};
+
+    double sigma = 0.0;
+    std::uint64_t steps = 0;
+    bool degenerate = false;
+    CellId degen_cell = start;
+    // A vertical line through a convex hull crosses O(N^{1/3}) cells on
+    // average; the cap is a defensive bound against adjacency cycles.
+    const std::uint64_t max_steps = 16 * tri.num_cells() + 64;
+
+    if (fast_path) {
+      // Hot loop: entry faces are known from the previous exit, so each
+      // tetra costs 6 two-dimensional edge products + one face exit.
+      CellId c = start;
+      const LineTetraHit first = line_tetra_vertical(xi, tri.cell_points(c));
+      if (!first.intersects || first.degenerate) {
+        degenerate = true;
+        degen_cell = c;
+      } else {
+        double z_prev = first.t_enter;
+        int entry_face = first.enter_face;
+        for (;;) {
+          if (++steps > max_steps) {
+            degenerate = true;
+            degen_cell = c;
+            break;
+          }
+          const VerticalExit ve =
+              line_tetra_vertical_exit(xi, tri.cell_points(c), entry_face);
+          if (!ve.found || ve.degenerate) {
+            degenerate = true;
+            degen_cell = c;
+            break;
+          }
+          accumulate(c, z_prev, ve.z_exit, sigma);
+          if (ve.z_exit >= zmax) break;
+          const CellId next = tri.cell(c).n[ve.exit_face];
+          if (tri.is_infinite(next)) break;
+          entry_face = tri.mirror_index(c, ve.exit_face);
+          z_prev = ve.z_exit;
+          c = next;
+        }
+      }
+      if (!degenerate) {
+        out.sigma = sigma;
+        out.steps += steps;
+        return out;
+      }
+    } else {
+      const PluckerLine line = PluckerLine::from_point_dir(origin, dir);
+      CellId c = start;
+      while (c != Triangulation::kNoCell && !tri.is_infinite(c)) {
+        const auto pts = tri.cell_points(c);
+        const LineTetraHit hit = opt_.use_moller_trumbore
+                                     ? line_tetra_moller(origin, dir, pts)
+                                     : line_tetra_plucker(line, origin, dir, pts);
+        if (hit.degenerate || !hit.intersects || ++steps > max_steps) {
+          degenerate = true;
+          degen_cell = c;
+          break;
+        }
+        accumulate(c, hit.t_enter, hit.t_exit, sigma);
+        if (hit.t_enter > zmax) break;
+        c = tri.cell(c).n[hit.exit_face];
+      }
+      if (!degenerate) {
+        out.sigma = sigma;
+        out.steps += steps;
+        return out;
+      }
+    }
+
+    // Paper Fig. 2: perturb ℓ toward a random vertex of the offending
+    // tetrahedron by ε and restart the march.
+    {
+      const auto& t = tri.cell(degen_cell);
+      Vec2 delta{0.0, 0.0};
+      for (int tries = 0; tries < 4 && delta.norm() < 1e-300; ++tries) {
+        const int s = static_cast<int>(next_rand(rng) & 3);
+        if (t.v[s] == Triangulation::kInfinite) continue;
+        const Vec3& v = tri.point(t.v[s]);
+        delta = Vec2{v.x, v.y} - xi;
+      }
+      if (delta.norm() < 1e-300)
+        delta = {rand_unit(rng) - 0.5, rand_unit(rng) - 0.5};
+      const double n = delta.norm();
+      if (n > eps) delta = delta * (eps / n);
+      xi = xi + delta;
+    }
+    out.steps += steps;
+    ++out.restarts;
+    if (attempt + 1 >= opt_.max_perturb_retries) {
+      out.sigma = 0.0;  // the perturbed retries never finished cleanly
+      out.failed = true;
+      return out;
+    }
+  }
+}
+
+double MarchingKernel::refine_cell(const Vec2& center, double size,
+                                   double zmin, double zmax, int depth,
+                                   std::uint64_t& rng,
+                                   MarchingStats* accum) const {
+  // Sample the four quadrant centers; if they agree (relative spread below
+  // tolerance) or the depth budget is spent, their mean is the cell value;
+  // otherwise refine each quadrant.
+  const double q = size * 0.25;
+  const Vec2 sub[4] = {{center.x - q, center.y - q},
+                       {center.x + q, center.y - q},
+                       {center.x - q, center.y + q},
+                       {center.x + q, center.y + q}};
+  double vals[4];
+  double lo = 1e300, hi = -1e300, mean = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const LineResult r = march_line(sub[i], zmin, zmax, rng);
+    vals[i] = r.sigma;
+    if (accum) {
+      accum->tetra_crossed += r.steps;
+      accum->perturb_restarts += static_cast<std::uint64_t>(r.restarts);
+      accum->failed_cells += r.failed ? 1 : 0;
+    }
+    lo = std::min(lo, r.sigma);
+    hi = std::max(hi, r.sigma);
+    mean += 0.25 * r.sigma;
+  }
+  if (depth >= opt_.adaptive_max_depth ||
+      hi - lo <= opt_.adaptive_tolerance * (std::abs(mean) + 1e-300))
+    return mean;
+  double refined = 0.0;
+  for (int i = 0; i < 4; ++i)
+    refined += 0.25 * refine_cell(sub[i], size * 0.5, zmin, zmax, depth + 1,
+                                  rng, accum);
+  return refined;
+}
+
+double MarchingKernel::integrate_line(const Vec2& xi, double zmin,
+                                      double zmax) const {
+  std::uint64_t rng = opt_.seed | 1;
+  return march_line(xi, zmin, zmax, rng).sigma;
+}
+
+Grid2D MarchingKernel::render(const FieldSpec& spec) const {
+  const std::size_t nx = spec.nx(), ny = spec.ny();
+  Grid2D grid(nx, ny);
+  const double h = spec.cell_size();
+
+  MarchingStats stats;
+  stats.thread_seconds.assign(
+      static_cast<std::size_t>(omp_get_max_threads()), 0.0);
+  std::uint64_t tot_steps = 0, tot_restarts = 0, tot_failed = 0, tot_empty = 0;
+
+  // ε is specified relative to the grid cell; march_line rescales by the
+  // silhouette extent, so compose the two factors here.
+  MarchingOptions local = opt_;
+  const double extent =
+      std::max(hull_->hi().x - hull_->lo().x, hull_->hi().y - hull_->lo().y);
+  local.perturb_epsilon = opt_.perturb_epsilon * (extent > 0.0 ? h / extent : 1.0);
+  MarchingKernel worker(*density_, *hull_, local);
+
+#pragma omp parallel reduction(+ : tot_steps, tot_restarts, tot_failed, tot_empty)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    ThreadCpuTimer timer;
+    std::uint64_t rng = (opt_.seed | 1) * (tid + 1) * 0x9e3779b97f4a7c15ull;
+
+#pragma omp for schedule(dynamic, 8)
+    for (std::ptrdiff_t idx = 0;
+         idx < static_cast<std::ptrdiff_t>(nx * ny); ++idx) {
+      const auto ix = static_cast<std::size_t>(idx) % nx;
+      const auto iy = static_cast<std::size_t>(idx) / nx;
+      if (opt_.adaptive_max_depth > 0) {
+        // Dynamic grid spacing: quadtree-refine cells whose corner lines
+        // disagree.
+        MarchingStats local;
+        grid.at(ix, iy) = worker.refine_cell(spec.cell_center(ix, iy), h,
+                                             spec.zmin, spec.zmax, 0, rng,
+                                             &local);
+        tot_steps += local.tetra_crossed;
+        tot_restarts += local.perturb_restarts;
+        tot_failed += local.failed_cells;
+        continue;
+      }
+      double sigma = 0.0;
+      for (int s = 0; s < opt_.monte_carlo_samples; ++s) {
+        Vec2 xi = spec.cell_center(ix, iy);
+        if (opt_.monte_carlo_samples > 1) {
+          xi.x += (rand_unit(rng) - 0.5) * h;
+          xi.y += (rand_unit(rng) - 0.5) * h;
+        }
+        const LineResult r = worker.march_line(xi, spec.zmin, spec.zmax, rng);
+        sigma += r.sigma;
+        tot_steps += r.steps;
+        tot_restarts += static_cast<std::uint64_t>(r.restarts);
+        tot_failed += r.failed ? 1 : 0;
+        tot_empty += r.empty ? 1 : 0;
+      }
+      grid.at(ix, iy) = sigma / opt_.monte_carlo_samples;
+    }
+    stats.thread_seconds[tid] = timer.seconds();
+  }
+
+  stats.cells_rendered = nx * ny;
+  stats.tetra_crossed = tot_steps;
+  stats.perturb_restarts = tot_restarts;
+  stats.failed_cells = tot_failed;
+  stats.empty_cells = tot_empty;
+  stats_ = stats;
+  return grid;
+}
+
+}  // namespace dtfe

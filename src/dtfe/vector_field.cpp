@@ -1,0 +1,39 @@
+#include "dtfe/vector_field.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+VectorField::VectorField(const Triangulation& tri, std::span<const Vec3> values)
+    : tri_(&tri) {
+  DTFE_CHECK_MSG(values.size() == tri.num_vertices(),
+                 "vector sample count must match vertex count");
+  std::vector<double> comp(values.size());
+  for (int i = 0; i < 3; ++i) {
+    for (std::size_t v = 0; v < values.size(); ++v) comp[v] = values[v][i];
+    fields_[static_cast<std::size_t>(i)] = std::make_unique<DensityField>(
+        DensityField::with_vertex_values(tri, comp));
+  }
+  hull_ = std::make_unique<HullProjection>(tri);
+}
+
+Grid2D VectorField::los_mean_component(int i, const FieldSpec& spec) const {
+  DTFE_CHECK(i >= 0 && i < 3);
+  // ∫v dz via the marching kernel on the component field; path length via
+  // the same kernel on a unit field.
+  const MarchingKernel value_kernel(component(i), *hull_);
+  std::vector<double> ones(tri_->num_vertices(), 1.0);
+  const DensityField unit = DensityField::with_vertex_values(*tri_, ones);
+  const MarchingKernel length_kernel(unit, *hull_);
+
+  const Grid2D integral = value_kernel.render(spec);
+  const Grid2D path = length_kernel.render(spec);
+  Grid2D mean(spec.nx(), spec.ny());
+  for (std::size_t k = 0; k < mean.size(); ++k)
+    mean.flat(k) = path.flat(k) > 0.0 ? integral.flat(k) / path.flat(k) : 0.0;
+  return mean;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,344 @@
+#include "framework/pipeline.h"
+
+#include "nbody/snapshot_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+
+#include "delaunay/hull_projection.h"
+#include "delaunay/triangulation.h"
+#include "dtfe/density.h"
+#include "dtfe/marching_kernel.h"
+#include "util/error.h"
+#include "util/grid_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace dtfe {
+
+namespace {
+
+constexpr int kTagWork = 200;
+
+// Work package layout (doubles): [n_items, {cx, cy, cz, count, xyz...}...].
+std::vector<double> pack_items(
+    const std::vector<Vec3>& centers,
+    const std::vector<std::vector<Vec3>>& particle_sets) {
+  std::vector<double> buf;
+  buf.push_back(static_cast<double>(centers.size()));
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    buf.push_back(centers[i].x);
+    buf.push_back(centers[i].y);
+    buf.push_back(centers[i].z);
+    buf.push_back(static_cast<double>(particle_sets[i].size()));
+    for (const Vec3& p : particle_sets[i]) {
+      buf.push_back(p.x);
+      buf.push_back(p.y);
+      buf.push_back(p.z);
+    }
+  }
+  return buf;
+}
+
+void unpack_items(const std::vector<double>& buf, std::vector<Vec3>& centers,
+                  std::vector<std::vector<Vec3>>& particle_sets) {
+  DTFE_CHECK(!buf.empty());
+  std::size_t pos = 0;
+  const auto n = static_cast<std::size_t>(buf[pos++]);
+  centers.resize(n);
+  particle_sets.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    centers[i] = {buf[pos], buf[pos + 1], buf[pos + 2]};
+    pos += 3;
+    const auto count = static_cast<std::size_t>(buf[pos++]);
+    particle_sets[i].resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      particle_sets[i][k] = {buf[pos], buf[pos + 1], buf[pos + 2]};
+      pos += 3;
+    }
+  }
+  DTFE_CHECK(pos == buf.size());
+}
+
+}  // namespace
+
+Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
+                          const Vec3& center, const PipelineOptions& opt,
+                          ItemRecord& record) {
+  record.center = center;
+  record.n_particles = static_cast<double>(cube_particles.size());
+  if (cube_particles.size() < opt.min_particles) {
+    return Grid2D(opt.field_resolution, opt.field_resolution);
+  }
+  ThreadCpuTimer t;
+  Grid2D grid;
+  try {
+    const Triangulation tri(cube_particles);
+    record.actual_tri = t.seconds();
+    t.reset();
+    const DensityField rho(tri, mass);
+    const HullProjection hull(tri);
+    const MarchingKernel kernel(rho, hull);
+    const FieldSpec spec =
+        FieldSpec::centered(center, opt.field_length, opt.field_resolution);
+    grid = kernel.render(spec);
+    record.actual_interp = t.seconds();
+  } catch (const Error&) {
+    // Degenerate cube (e.g. all points coplanar): an empty field, as a
+    // production code must tolerate pathological requests.
+    record.actual_tri = t.seconds();
+    grid = Grid2D(opt.field_resolution, opt.field_resolution);
+  }
+  return grid;
+}
+
+namespace {
+/// Shared core of the pipeline: `my_block` is whatever subset of the global
+/// particles this rank obtained from its read (any block assignment works —
+/// redistribution sorts ownership out).
+PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
+                                 double particle_mass,
+                                 std::vector<Vec3> my_block,
+                                 std::vector<Vec3> field_centers,
+                                 const PipelineOptions& opt) {
+  PipelineResult res;
+  const int P = comm.size();
+  const int me = comm.rank();
+  const double cube_side = opt.cube_pad * opt.field_length;
+  const double ghost_radius = 0.5 * cube_side;
+  Rng rng(opt.seed * 7919 + static_cast<std::uint64_t>(me));
+
+  // ---- Phase 1: partitioning & redistribution -----------------------------
+  ThreadCpuTimer phase_timer;
+  const Decomposition decomp(P, box);
+  std::vector<Vec3> local_particles;
+  {
+    auto owned = decomp.redistribute(comm, std::move(my_block));
+    res.owned_particles = owned.size();
+    local_particles = decomp.exchange_ghosts(comm, owned, ghost_radius);
+    res.ghost_particles = local_particles.size() - owned.size();
+  }
+
+  // Field locations: read by one process and broadcast; each rank keeps the
+  // requests whose center falls in its sub-volume.
+  {
+    std::vector<std::byte> blob;
+    if (me == 0) {
+      blob.resize(field_centers.size() * sizeof(Vec3));
+      std::memcpy(blob.data(), field_centers.data(), blob.size());
+    }
+    comm.bcast_bytes(blob, 0);
+    if (me != 0) {
+      field_centers.resize(blob.size() / sizeof(Vec3));
+      std::memcpy(field_centers.data(), blob.data(), blob.size());
+    }
+  }
+  std::vector<Vec3> my_requests;
+  for (const Vec3& c : field_centers) {
+    const Vec3 w = wrap_periodic(c, box);
+    if (decomp.owner_of(w) == me) my_requests.push_back(w);
+  }
+  res.local_items = my_requests.size();
+  res.phases.partition = phase_timer.seconds();
+
+  // ---- Phase 2: workload modeling -----------------------------------------
+  phase_timer.reset();
+  // Spatial index over the local (owned + ghost) particles. Ghosts are
+  // unwrapped, so the covering box starts at sub_lo − ghost_radius.
+  const Vec3 idx_origin = decomp.sub_lo(me) -
+                          Vec3{ghost_radius, ghost_radius, ghost_radius};
+  const Vec3 sub_ext = decomp.sub_hi(me) - decomp.sub_lo(me);
+  const double idx_extent =
+      std::max({sub_ext.x, sub_ext.y, sub_ext.z}) + 2.0 * ghost_radius;
+  const GridIndex index(local_particles, idx_origin, idx_extent,
+                        opt.count_grid_cells);
+
+  std::vector<double> item_counts(my_requests.size(), 0.0);
+  for (std::size_t i = 0; i < my_requests.size(); ++i)
+    item_counts[i] = static_cast<double>(
+        index.count_in_cube(my_requests[i], cube_side));
+
+  // Time one random local work item (it is then already computed).
+  std::ptrdiff_t test_item = -1;
+  Grid2D test_grid;
+  ItemRecord test_record;
+  std::vector<WorkSample> my_samples;
+  if (!my_requests.empty()) {
+    test_item = static_cast<std::ptrdiff_t>(
+        rng.uniform_index(my_requests.size()));
+    const auto ti = static_cast<std::size_t>(test_item);
+    std::vector<std::uint32_t> ids;
+    index.gather_in_cube(my_requests[ti], cube_side, ids);
+    std::vector<Vec3> cube;
+    cube.reserve(ids.size());
+    for (const auto id : ids) cube.push_back(local_particles[id]);
+    test_grid = compute_field_item(std::move(cube), particle_mass,
+                                   my_requests[ti], opt, test_record);
+    my_samples.push_back({item_counts[ti], test_record.actual_tri,
+                          test_record.actual_interp});
+  }
+  res.model = fit_workload_model(comm, my_samples);
+
+  // Predicted remaining local work (the test item is already done).
+  std::vector<double> predicted(my_requests.size(), 0.0);
+  double total_predicted = 0.0;
+  for (std::size_t i = 0; i < my_requests.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == test_item) continue;
+    predicted[i] = res.model.predict(item_counts[i]);
+    total_predicted += predicted[i];
+  }
+  res.predicted_local_time = total_predicted;
+  res.phases.model = phase_timer.seconds();
+
+  // ---- Phase 3: work-sharing schedule --------------------------------------
+  phase_timer.reset();
+  SenderPlan plan;
+  std::vector<std::size_t> remaining;  // indices into my_requests
+  for (std::size_t i = 0; i < my_requests.size(); ++i)
+    if (static_cast<std::ptrdiff_t>(i) != test_item) remaining.push_back(i);
+
+  if (opt.load_balance && P > 1) {
+    const auto all_times = comm.allgather(total_predicted);
+    std::vector<RankWork> work(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r)
+      work[static_cast<std::size_t>(r)] = {r, all_times[static_cast<std::size_t>(r)]};
+    res.schedule = create_communication_list(std::move(work), me);
+
+    std::vector<double> remaining_times;
+    remaining_times.reserve(remaining.size());
+    for (const std::size_t i : remaining) remaining_times.push_back(predicted[i]);
+    plan = plan_sender(res.schedule.send_list, remaining_times);
+  } else {
+    plan.item_assignment.assign(remaining.size(), SenderPlan::kRunAtEnd);
+  }
+  res.phases.work_share = phase_timer.seconds();
+
+  // ---- Phase 4: execution & communication ----------------------------------
+  auto record_item = [&](ItemRecord rec, Grid2D grid, double pred_tri,
+                         double pred_interp, bool received) {
+    rec.predicted_tri = pred_tri;
+    rec.predicted_interp = pred_interp;
+    rec.received = received;
+    res.phases.triangulate += rec.actual_tri;
+    res.phases.render += rec.actual_interp;
+    res.items.push_back(rec);
+    if (opt.keep_grids) res.grids.push_back(std::move(grid));
+  };
+
+  // The already-computed random test item.
+  if (test_item >= 0) {
+    const auto ti = static_cast<std::size_t>(test_item);
+    record_item(test_record, std::move(test_grid),
+                res.model.predict_tri(item_counts[ti]),
+                res.model.predict_interp(item_counts[ti]), false);
+  }
+
+  auto execute_local = [&](std::size_t idx_in_remaining) {
+    const std::size_t i = remaining[idx_in_remaining];
+    std::vector<std::uint32_t> ids;
+    index.gather_in_cube(my_requests[i], cube_side, ids);
+    std::vector<Vec3> cube;
+    cube.reserve(ids.size());
+    for (const auto id : ids) cube.push_back(local_particles[id]);
+    ItemRecord rec;
+    Grid2D grid = compute_field_item(std::move(cube), particle_mass,
+                                     my_requests[i], opt, rec);
+    record_item(std::move(rec), std::move(grid),
+                res.model.predict_tri(item_counts[i]),
+                res.model.predict_interp(item_counts[i]), false);
+  };
+
+  if (!res.schedule.send_list.empty()) {
+    // SENDER: interleave gap-bin local items with sends, then leftovers.
+    for (std::size_t k = 0; k < plan.ordered_sends.size(); ++k) {
+      for (std::size_t j = 0; j < remaining.size(); ++j)
+        if (plan.item_assignment[j] == plan.gap_slot(k)) execute_local(j);
+
+      ThreadCpuTimer pack_timer;
+      std::vector<Vec3> centers;
+      std::vector<std::vector<Vec3>> cubes;
+      for (std::size_t j = 0; j < remaining.size(); ++j) {
+        if (plan.item_assignment[j] != static_cast<int>(k)) continue;
+        const std::size_t i = remaining[j];
+        centers.push_back(my_requests[i]);
+        std::vector<std::uint32_t> ids;
+        index.gather_in_cube(my_requests[i], cube_side, ids);
+        std::vector<Vec3> cube;
+        cube.reserve(ids.size());
+        for (const auto id : ids) cube.push_back(local_particles[id]);
+        cubes.push_back(std::move(cube));
+      }
+      const auto buf = pack_items(centers, cubes);
+      comm.send_vector<double>(plan.ordered_sends[k].receiver, kTagWork, buf);
+      res.items_sent += centers.size();
+      res.phases.work_share += pack_timer.seconds();
+    }
+    for (std::size_t j = 0; j < remaining.size(); ++j)
+      if (plan.item_assignment[j] == SenderPlan::kRunAtEnd) execute_local(j);
+  } else {
+    // RECEIVER or neutral rank: drain local work...
+    for (std::size_t j = 0; j < remaining.size(); ++j) execute_local(j);
+    // ...then serve the expected work-sharing messages in order.
+    for (const int sender : res.schedule.recv_list) {
+      const auto buf = comm.recv_vector<double>(sender, kTagWork);
+      ThreadCpuTimer unpack_timer;
+      std::vector<Vec3> centers;
+      std::vector<std::vector<Vec3>> cubes;
+      unpack_items(buf, centers, cubes);
+      res.phases.work_share += unpack_timer.seconds();
+      for (std::size_t i = 0; i < centers.size(); ++i) {
+        ItemRecord rec;
+        const double n = static_cast<double>(cubes[i].size());
+        Grid2D grid =
+            compute_field_item(std::move(cubes[i]), particle_mass,
+                               centers[i], opt, rec);
+        record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
+                    res.model.predict_interp(n), true);
+        ++res.items_received;
+      }
+    }
+  }
+
+  comm.barrier();
+  return res;
+}
+}  // namespace
+
+PipelineResult run_pipeline(simmpi::Comm& comm, const ParticleSet& particles,
+                            std::vector<Vec3> field_centers,
+                            const PipelineOptions& opt) {
+  // Arbitrary block assignment standing in for the MPI-IO read: rank r
+  // takes the r-th contiguous slice of the file order.
+  const int P = comm.size();
+  const int me = comm.rank();
+  const std::size_t n = particles.size();
+  const std::size_t lo =
+      n * static_cast<std::size_t>(me) / static_cast<std::size_t>(P);
+  const std::size_t hi =
+      n * static_cast<std::size_t>(me + 1) / static_cast<std::size_t>(P);
+  std::vector<Vec3> block(
+      particles.positions.begin() + static_cast<std::ptrdiff_t>(lo),
+      particles.positions.begin() + static_cast<std::ptrdiff_t>(hi));
+  return run_pipeline_impl(comm, particles.box_length, particles.particle_mass,
+                           std::move(block), std::move(field_centers), opt);
+}
+
+PipelineResult run_pipeline_from_snapshot(simmpi::Comm& comm,
+                                          const std::string& snapshot_path,
+                                          std::vector<Vec3> field_centers,
+                                          const PipelineOptions& opt) {
+  // Parallel read with round-robin block assignment (paper: "a parallel
+  // read of the data using an arbitrary block assignment").
+  const SnapshotHeader header = read_snapshot_header(snapshot_path);
+  std::vector<Vec3> block;
+  for (std::size_t b = static_cast<std::size_t>(comm.rank());
+       b < header.blocks.size(); b += static_cast<std::size_t>(comm.size())) {
+    const auto part = read_snapshot_block(snapshot_path, header, b);
+    block.insert(block.end(), part.begin(), part.end());
+  }
+  return run_pipeline_impl(comm, header.box_length, header.particle_mass,
+                           std::move(block), std::move(field_centers), opt);
+}
+
+}  // namespace dtfe

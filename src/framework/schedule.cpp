@@ -1,0 +1,109 @@
+#include "framework/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/binpack.h"
+#include "util/error.h"
+
+namespace dtfe {
+
+WorkShareSchedule create_communication_list(std::vector<RankWork> all,
+                                            int my_id) {
+  WorkShareSchedule out;
+  if (all.empty()) return out;
+
+  double avg = 0.0;
+  for (const RankWork& w : all) avg += w.time;
+  avg /= static_cast<double>(all.size());
+  out.average_time = avg;
+
+  // Ps ← SortByTimeDescending(P)
+  std::stable_sort(all.begin(), all.end(),
+                   [](const RankWork& a, const RankWork& b) {
+                     return a.time > b.time;
+                   });
+
+  // lr ← index of the last sender (count of above-average ranks − 1).
+  std::ptrdiff_t lr = -1;
+  for (const RankWork& w : all) {
+    if (w.time > avg)
+      ++lr;
+    else
+      break;
+  }
+  if (lr < 0) return out;  // perfectly balanced: nothing to share
+
+  std::ptrdiff_t cr = static_cast<std::ptrdiff_t>(all.size()) - 1;
+  for (std::ptrdiff_t i = 0; i <= lr; ++i) {
+    while (cr > lr && all[static_cast<std::size_t>(i)].time > avg) {
+      RankWork& sender = all[static_cast<std::size_t>(i)];
+      RankWork& receiver = all[static_cast<std::size_t>(cr)];
+      const double excess = sender.time - avg;
+      const double capacity = avg - receiver.time;
+      if (capacity <= 0.0) {
+        // This receiver was filled exactly to the average by a previous
+        // sender; move to the next candidate (they are less loaded as cr
+        // decreases toward lr in the descending sort).
+        --cr;
+        continue;
+      }
+      if (excess > capacity) {
+        // Fill this receiver to the average and move to the next receiver.
+        if (my_id == sender.id)
+          out.send_list.push_back({receiver.id, capacity, receiver.time});
+        else if (my_id == receiver.id)
+          out.recv_list.push_back(sender.id);
+        sender.time -= capacity;
+        receiver.time = avg;
+        --cr;
+      } else {
+        // The receiver absorbs the sender's whole excess; it remains the
+        // candidate for the next sender.
+        if (my_id == sender.id)
+          out.send_list.push_back({receiver.id, excess, receiver.time});
+        else if (my_id == receiver.id)
+          out.recv_list.push_back(sender.id);
+        receiver.time += excess;
+        sender.time = avg;
+      }
+    }
+  }
+  return out;
+}
+
+SenderPlan plan_sender(const std::vector<PlannedSend>& sends,
+                       const std::vector<double>& item_times) {
+  SenderPlan plan;
+  plan.ordered_sends = sends;
+  std::stable_sort(plan.ordered_sends.begin(), plan.ordered_sends.end(),
+                   [](const PlannedSend& a, const PlannedSend& b) {
+                     return a.send_at < b.send_at;
+                   });
+
+  // Bins: one per inter-send gap (local execution time available before each
+  // send) and one per send (amount of work to ship). Identified by index:
+  // bins [0, n_sends) are gaps, [n_sends, 2·n_sends) are send amounts.
+  const std::size_t n = plan.ordered_sends.size();
+  std::vector<double> bins(2 * n, 0.0);
+  double prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    bins[k] = std::max(0.0, plan.ordered_sends[k].send_at - prev);
+    prev = plan.ordered_sends[k].send_at;
+    bins[n + k] = plan.ordered_sends[k].amount;
+  }
+
+  const BinAssignment packed = pack_first_fit(item_times, bins);
+  plan.item_assignment.assign(item_times.size(), SenderPlan::kRunAtEnd);
+  for (std::size_t i = 0; i < item_times.size(); ++i) {
+    const std::ptrdiff_t b = packed.item_to_bin[i];
+    if (b < 0) continue;  // leftover: run locally at the end
+    if (static_cast<std::size_t>(b) < n)
+      plan.item_assignment[i] = plan.gap_slot(static_cast<std::size_t>(b));
+    else
+      plan.item_assignment[i] = static_cast<int>(static_cast<std::size_t>(b) - n);
+  }
+  return plan;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,30 @@
+#include "framework/workload_model.h"
+
+#include <cmath>
+
+namespace dtfe {
+
+WorkloadModel fit_workload_model(std::span<const WorkSample> samples) {
+  WorkloadModel model;
+  std::vector<double> n, tri, interp;
+  n.reserve(samples.size());
+  for (const WorkSample& s : samples) {
+    n.push_back(s.n);
+    tri.push_back(s.t_tri);
+    interp.push_back(s.t_interp);
+  }
+  model.c_tri = fit_nlogn(n, tri);
+  model.interp = fit_power_law(n, interp);
+  return model;
+}
+
+WorkloadModel fit_workload_model(simmpi::Comm& comm,
+                                 std::span<const WorkSample> local_samples) {
+  const auto pooled = comm.allgatherv<WorkSample>(local_samples);
+  std::vector<WorkSample> all;
+  for (const auto& per_rank : pooled)
+    all.insert(all.end(), per_rank.begin(), per_rank.end());
+  return fit_workload_model(all);
+}
+
+}  // namespace dtfe

@@ -1,0 +1,51 @@
+// Runtime workload modeling (paper §IV-C).
+//
+// Every rank (1) counts the particles n_i each of its field requests needs
+// (a cube of the field's padded side centered on the request), (2) times ONE
+// randomly chosen local request end-to-end, split into triangulation and
+// interpolation, (3) Allgathers the (n, t_tri, t_interp) samples, and (4)
+// fits two global models:
+//     f_tri(n)    = c · n·log2 n      (OLS, Eqs. 15–16)
+//     f_interp(n) = α · n^β           (Gauss–Newton, Eq. 17)
+// The sum of the fitted per-item predictions estimates each rank's remaining
+// work for the scheduler.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simmpi/comm.h"
+#include "util/fit.h"
+
+namespace dtfe {
+
+struct WorkSample {
+  double n = 0.0;         ///< particles in the work item's cube
+  double t_tri = 0.0;     ///< measured triangulation seconds
+  double t_interp = 0.0;  ///< measured grid-render seconds
+};
+
+struct WorkloadModel {
+  double c_tri = 0.0;     ///< f_tri(n) = c·n·log2 n
+  PowerLawFit interp;     ///< f_interp(n) = α·n^β
+
+  double predict_tri(double n) const {
+    return n >= 2.0 ? c_tri * n * std::log2(n) : 0.0;
+  }
+  double predict_interp(double n) const {
+    return n > 0.0 ? interp.alpha * std::pow(n, interp.beta) : 0.0;
+  }
+  double predict(double n) const { return predict_tri(n) + predict_interp(n); }
+};
+
+/// Exchange each rank's local sample(s) with Allgather and fit the two
+/// models on the pooled data. All ranks compute identical fits.
+WorkloadModel fit_workload_model(simmpi::Comm& comm,
+                                 std::span<const WorkSample> local_samples);
+
+/// Fit without communication (single-rank / offline use).
+WorkloadModel fit_workload_model(std::span<const WorkSample> samples);
+
+}  // namespace dtfe

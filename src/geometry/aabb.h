@@ -1,0 +1,50 @@
+// Axis-aligned bounding boxes.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "geometry/vec3.h"
+
+namespace dtfe {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  void expand(const Vec3& p) {
+    lo.x = p.x < lo.x ? p.x : lo.x;
+    lo.y = p.y < lo.y ? p.y : lo.y;
+    lo.z = p.z < lo.z ? p.z : lo.z;
+    hi.x = p.x > hi.x ? p.x : hi.x;
+    hi.y = p.y > hi.y ? p.y : hi.y;
+    hi.z = p.z > hi.z ? p.z : hi.z;
+  }
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return hi - lo; }
+  double max_extent() const {
+    const Vec3 e = extent();
+    double m = e.x;
+    if (e.y > m) m = e.y;
+    if (e.z > m) m = e.z;
+    return m;
+  }
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  static Aabb of(std::span<const Vec3> pts) {
+    Aabb box;
+    for (const Vec3& p : pts) box.expand(p);
+    return box;
+  }
+};
+
+}  // namespace dtfe

@@ -1,0 +1,105 @@
+#include "geometry/expansion.h"
+
+#include <cstdlib>
+
+namespace dtfe {
+
+// Shewchuk's FAST_EXPANSION_SUM_ZEROELIM: merge two expansions by magnitude,
+// then a running error-free accumulation.
+Expansion Expansion::operator+(const Expansion& other) const {
+  const auto& e = c_;
+  const auto& f = other.c_;
+  if (e.empty()) return other;
+  if (f.empty()) return *this;
+
+  Expansion out;
+  auto& h = out.c_;
+  h.reserve(e.size() + f.size());
+
+  std::size_t eindex = 0, findex = 0;
+  double enow = e[0], fnow = f[0];
+  double q;
+  // (fnow > enow) == (fnow > -enow) test from Shewchuk merges by magnitude.
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    if (++eindex < e.size()) enow = e[eindex];
+  } else {
+    q = fnow;
+    if (++findex < f.size()) fnow = f[findex];
+  }
+  double qnew, hh;
+  if (eindex < e.size() && findex < f.size()) {
+    if ((fnow > enow) == (fnow > -enow)) {
+      fast_two_sum(enow, q, qnew, hh);
+      if (++eindex < e.size()) enow = e[eindex];
+    } else {
+      fast_two_sum(fnow, q, qnew, hh);
+      if (++findex < f.size()) fnow = f[findex];
+    }
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+    while (eindex < e.size() && findex < f.size()) {
+      if ((fnow > enow) == (fnow > -enow)) {
+        two_sum(q, enow, qnew, hh);
+        if (++eindex < e.size()) enow = e[eindex];
+      } else {
+        two_sum(q, fnow, qnew, hh);
+        if (++findex < f.size()) fnow = f[findex];
+      }
+      q = qnew;
+      if (hh != 0.0) h.push_back(hh);
+    }
+  }
+  while (eindex < e.size()) {
+    two_sum(q, enow, qnew, hh);
+    if (++eindex < e.size()) enow = e[eindex];
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+  }
+  while (findex < f.size()) {
+    two_sum(q, fnow, qnew, hh);
+    if (++findex < f.size()) fnow = f[findex];
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+  }
+  if (q != 0.0) h.push_back(q);
+  return out;
+}
+
+Expansion Expansion::operator-(const Expansion& other) const {
+  return *this + (-other);
+}
+
+// Shewchuk's SCALE_EXPANSION_ZEROELIM.
+Expansion Expansion::scaled(double b) const {
+  Expansion out;
+  if (c_.empty() || b == 0.0) return out;
+  auto& h = out.c_;
+  h.reserve(2 * c_.size());
+
+  double q, hh;
+  two_product(c_[0], b, q, hh);
+  if (hh != 0.0) h.push_back(hh);
+  for (std::size_t i = 1; i < c_.size(); ++i) {
+    double product1, product0, sum;
+    two_product(c_[i], b, product1, product0);
+    two_sum(q, product0, sum, hh);
+    if (hh != 0.0) h.push_back(hh);
+    fast_two_sum(product1, sum, q, hh);
+    if (hh != 0.0) h.push_back(hh);
+  }
+  if (q != 0.0) h.push_back(q);
+  return out;
+}
+
+Expansion Expansion::operator*(const Expansion& other) const {
+  // Distribute over the smaller operand to keep intermediate sizes down.
+  const Expansion* big = this;
+  const Expansion* small = &other;
+  if (big->size() < small->size()) std::swap(big, small);
+  Expansion acc;
+  for (double v : small->c_) acc = acc + big->scaled(v);
+  return acc;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,120 @@
+// Exact floating-point expansion arithmetic (Shewchuk 1997).
+//
+// An expansion represents a real number exactly as a sum of non-overlapping
+// IEEE doubles stored in increasing order of magnitude. The error-free
+// transforms two_sum / two_diff / two_product are the primitives; on top of
+// them, expansion addition and scaling are exact, so any polynomial in the
+// input coordinates — in particular the orientation and insphere
+// determinants — can be evaluated with its exact sign.
+//
+// This is the slow path behind the statically filtered predicates in
+// predicates.h; it only runs when the filter cannot certify a sign.
+//
+// NOTE: this translation unit must be compiled without FP contraction or
+// value-unsafe FP optimizations (see src/geometry/CMakeLists.txt).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace dtfe {
+
+/// x + y == a + b exactly, |y| <= ulp(x)/2. No precondition on magnitudes.
+inline void two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bvirt = x - a;
+  const double avirt = x - bvirt;
+  const double bround = b - bvirt;
+  const double around = a - avirt;
+  y = around + bround;
+}
+
+/// Requires |a| >= |b| (or a == 0).
+inline void fast_two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bvirt = x - a;
+  y = b - bvirt;
+}
+
+/// x + y == a - b exactly.
+inline void two_diff(double a, double b, double& x, double& y) {
+  x = a - b;
+  const double bvirt = a - x;
+  const double avirt = x + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  y = around + bround;
+}
+
+/// x + y == a * b exactly (error term via FMA).
+inline void two_product(double a, double b, double& x, double& y) {
+  x = a * b;
+  y = std::fma(a, b, -x);
+}
+
+/// Exact multi-component value. Components are non-overlapping, increasing in
+/// magnitude; zeros are eliminated eagerly. An empty expansion is zero.
+class Expansion {
+ public:
+  Expansion() = default;
+  /// Single-component expansion (zero components are dropped).
+  explicit Expansion(double v) {
+    if (v != 0.0) c_.push_back(v);
+  }
+  /// Exact difference a − b of two doubles.
+  static Expansion from_diff(double a, double b) {
+    Expansion e;
+    double x, y;
+    two_diff(a, b, x, y);
+    if (y != 0.0) e.c_.push_back(y);
+    if (x != 0.0) e.c_.push_back(x);
+    return e;
+  }
+  /// Exact product of two doubles.
+  static Expansion from_product(double a, double b) {
+    Expansion e;
+    double x, y;
+    two_product(a, b, x, y);
+    if (y != 0.0) e.c_.push_back(y);
+    if (x != 0.0) e.c_.push_back(x);
+    return e;
+  }
+
+  bool is_zero() const { return c_.empty(); }
+  std::size_t size() const { return c_.size(); }
+
+  /// Sign of the exact value: -1, 0 or +1. The largest-magnitude component is
+  /// last and dominates the sum (non-overlapping property).
+  int sign() const {
+    if (c_.empty()) return 0;
+    return c_.back() > 0.0 ? 1 : -1;
+  }
+
+  /// Most-significant component — a good double approximation's leading term.
+  double approx() const {
+    double a = 0.0;
+    for (double v : c_) a += v;
+    return a;
+  }
+
+  /// Exact sum (fast_expansion_sum_zeroelim).
+  Expansion operator+(const Expansion& other) const;
+  /// Exact difference.
+  Expansion operator-(const Expansion& other) const;
+  /// Exact product by a double (scale_expansion_zeroelim).
+  Expansion scaled(double b) const;
+  /// Exact product of two expansions (distributes scaled() over components).
+  Expansion operator*(const Expansion& other) const;
+  Expansion operator-() const {
+    Expansion e;
+    e.c_.reserve(c_.size());
+    for (double v : c_) e.c_.push_back(-v);
+    return e;
+  }
+
+ private:
+  std::vector<double> c_;
+};
+
+}  // namespace dtfe

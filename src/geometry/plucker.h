@@ -1,0 +1,34 @@
+// Plücker coordinates and the permuted inner product (paper §III-C-2,
+// Eq. 7–8), the primitives of the Platis–Theoharis ray–tetrahedron test used
+// by the marching kernel.
+#pragma once
+
+#include "geometry/vec3.h"
+
+namespace dtfe {
+
+/// Directed line in Plücker coordinates π = {U : V} with U the direction and
+/// V = U × x for any point x on the line (paper Eq. 7).
+struct PluckerLine {
+  Vec3 u;  ///< direction
+  Vec3 v;  ///< moment U × point
+
+  /// Line through `point` with direction `dir`.
+  static PluckerLine from_point_dir(const Vec3& point, const Vec3& dir) {
+    return {dir, dir.cross(point)};
+  }
+  /// Line through two points p → q.
+  static PluckerLine from_segment(const Vec3& p, const Vec3& q) {
+    return from_point_dir(p, q - p);
+  }
+};
+
+/// Permuted inner product π_r ⊙ π_s = U_r·V_s + U_s·V_r (paper Eq. 8).
+/// Sign gives the relative orientation of the two directed lines; zero means
+/// they are coplanar (intersecting or parallel) — a degeneracy for the
+/// marching kernel.
+inline double permuted_inner(const PluckerLine& r, const PluckerLine& s) {
+  return r.u.dot(s.v) + s.u.dot(r.v);
+}
+
+}  // namespace dtfe

@@ -1,0 +1,281 @@
+#include "geometry/ray_tetra.h"
+
+#include <cmath>
+
+namespace dtfe {
+
+namespace {
+
+// For face f of kTetraFace, the three directed edges A→B, B→C, C→A expressed
+// as (edge index into kTetraEdge, sign). Built once; sign −1 means the canon-
+// ical i<j edge runs opposite to the face winding.
+struct FaceEdge {
+  int edge;
+  double sign;
+};
+
+constexpr int edge_index(int i, int j) {
+  // canonical (min,max) lookup into kTetraEdge
+  const int a = i < j ? i : j;
+  const int b = i < j ? j : i;
+  if (a == 0) return b - 1;       // (0,1)->0 (0,2)->1 (0,3)->2
+  if (a == 1) return b + 1;       // (1,2)->3 (1,3)->4
+  return 5;                       // (2,3)
+}
+
+constexpr FaceEdge face_edge(int face, int k) {
+  const int i = kTetraFace[face][k];
+  const int j = kTetraFace[face][(k + 1) % 3];
+  return {edge_index(i, j), i < j ? 1.0 : -1.0};
+}
+
+// Fully precomputed lookup tables so the hot loops do no index arithmetic.
+struct FaceEdgeEntry {
+  int edge;
+  double sign;
+  int weight_vertex;  // barycentric weight of this edge's product
+};
+constexpr auto kFaceEdgeTable = [] {
+  std::array<std::array<FaceEdgeEntry, 3>, 4> t{};
+  for (int f = 0; f < 4; ++f)
+    for (int k = 0; k < 3; ++k) {
+      const FaceEdge fe = face_edge(f, k);
+      t[static_cast<std::size_t>(f)][static_cast<std::size_t>(k)] = {
+          fe.edge, fe.sign, kTetraFace[f][(k + 2) % 3]};
+    }
+  return t;
+}();
+
+// Barycentric weight association (paper Eq. 9): the product for edge A→B is
+// the weight of the OPPOSITE vertex C. Face winding (A,B,C) with edges
+// (A→B, B→C, C→A) gives weights (w_AB→C, w_BC→A, w_CA→B).
+constexpr int face_weight_vertex(int face, int k) {
+  return kTetraFace[face][(k + 2) % 3];
+}
+
+}  // namespace
+
+LineTetraHit line_tetra_plucker(const PluckerLine& line, const Vec3& origin,
+                                const Vec3& dir,
+                                const std::array<Vec3, 4>& v) {
+  LineTetraHit hit;
+
+  // Six shared-edge permuted inner products.
+  double s[6];
+  for (int e = 0; e < 6; ++e) {
+    const PluckerLine edge =
+        PluckerLine::from_segment(v[kTetraEdge[e][0]], v[kTetraEdge[e][1]]);
+    s[e] = permuted_inner(line, edge);
+  }
+
+  const double dir_norm2 = dir.norm2();
+  int found = 0;
+  for (int f = 0; f < 4 && found < 2; ++f) {
+    double w[3];
+    bool any_zero = false;
+    int pos = 0, neg = 0;
+    for (int k = 0; k < 3; ++k) {
+      const FaceEdge fe = face_edge(f, k);
+      w[k] = fe.sign * s[fe.edge];
+      if (w[k] > 0.0) ++pos;
+      else if (w[k] < 0.0) ++neg;
+      else any_zero = true;
+    }
+    if (pos > 0 && neg > 0) continue;  // mixed signs: no crossing here
+    if (any_zero) {
+      // Line touches an edge or vertex of this face (or is coplanar).
+      // If the nonzero products agree the line grazes this face: degenerate.
+      if (pos == 0 && neg == 0) {
+        hit.degenerate = true;  // coplanar with the face
+        return hit;
+      }
+      hit.degenerate = true;
+      return hit;
+    }
+    // All three strictly one sign: the line crosses this face's interior.
+    const double wsum = w[0] + w[1] + w[2];
+    Vec3 x{0, 0, 0};
+    for (int k = 0; k < 3; ++k)
+      x += v[face_weight_vertex(f, k)] * (w[k] / wsum);
+    const double t = (x - origin).dot(dir) / dir_norm2;
+    if (found == 0) {
+      hit.enter_face = f;
+      hit.t_enter = t;
+      hit.enter_point = x;
+    } else {
+      hit.exit_face = f;
+      hit.t_exit = t;
+      hit.exit_point = x;
+    }
+    ++found;
+  }
+
+  if (found == 2) {
+    hit.intersects = true;
+    if (hit.t_enter > hit.t_exit) {
+      std::swap(hit.t_enter, hit.t_exit);
+      std::swap(hit.enter_face, hit.exit_face);
+      std::swap(hit.enter_point, hit.exit_point);
+    }
+  } else if (found == 1) {
+    // A line crossing one face interior must cross the boundary again; if the
+    // second crossing was not a face interior it went through an edge/vertex.
+    hit.degenerate = true;
+  }
+  return hit;
+}
+
+namespace {
+inline void vertical_edge_products(const Vec2& xi, const std::array<Vec3, 4>& v,
+                                   double s[6]) {
+  // Edge products: for the +ẑ line through ξ, π_line ⊙ π_edge(a→b) equals
+  // the 2D orientation (b−a) × (a−ξ) of the projected edge around ξ.
+  for (int e = 0; e < 6; ++e) {
+    const Vec3& a = v[kTetraEdge[e][0]];
+    const Vec3& b = v[kTetraEdge[e][1]];
+    s[e] = (b.x - a.x) * (a.y - xi.y) - (b.y - a.y) * (a.x - xi.x);
+  }
+}
+
+// Classify face f against precomputed edge products; returns +1 crossing,
+// 0 no crossing, -1 degenerate (a zero product on a candidate face).
+// On crossing, *z receives the intersection height.
+inline int classify_vertical_face(const std::array<Vec3, 4>& v, int f,
+                                  const double s[6], double* z) {
+  const auto& row = kFaceEdgeTable[static_cast<std::size_t>(f)];
+  const double w0 = row[0].sign * s[row[0].edge];
+  const double w1 = row[1].sign * s[row[1].edge];
+  const double w2 = row[2].sign * s[row[2].edge];
+  // Mixed signs reject the face BEFORE the zero test: an edge parallel to
+  // the (vertical) line always yields a zero product, which only signals a
+  // real degeneracy when the remaining products agree (matching the
+  // general-direction classifier's order of checks).
+  const int pos = (w0 > 0.0) + (w1 > 0.0) + (w2 > 0.0);
+  const int neg = (w0 < 0.0) + (w1 < 0.0) + (w2 < 0.0);
+  if (pos > 0 && neg > 0) return 0;
+  if (pos + neg < 3) return -1;  // a zero product on a candidate face
+  const double inv = 1.0 / (w0 + w1 + w2);
+  *z = (v[row[0].weight_vertex].z * w0 + v[row[1].weight_vertex].z * w1 +
+        v[row[2].weight_vertex].z * w2) * inv;
+  return 1;
+}
+}  // namespace
+
+LineTetraHit line_tetra_vertical(const Vec2& xi, const std::array<Vec3, 4>& v) {
+  LineTetraHit hit;
+  double s[6];
+  vertical_edge_products(xi, v, s);
+
+  int found = 0;
+  for (int f = 0; f < 4 && found < 2; ++f) {
+    double z;
+    const int r = classify_vertical_face(v, f, s, &z);
+    if (r == 0) continue;
+    if (r < 0) {
+      hit.degenerate = true;
+      return hit;
+    }
+    if (found == 0) {
+      hit.enter_face = f;
+      hit.t_enter = z;
+      hit.enter_point = {xi.x, xi.y, z};
+    } else {
+      hit.exit_face = f;
+      hit.t_exit = z;
+      hit.exit_point = {xi.x, xi.y, z};
+    }
+    ++found;
+  }
+
+  if (found == 2) {
+    hit.intersects = true;
+    if (hit.t_enter > hit.t_exit) {
+      std::swap(hit.t_enter, hit.t_exit);
+      std::swap(hit.enter_face, hit.exit_face);
+      std::swap(hit.enter_point, hit.exit_point);
+    }
+  } else if (found == 1) {
+    hit.degenerate = true;
+  }
+  return hit;
+}
+
+VerticalExit line_tetra_vertical_exit(const Vec2& xi,
+                                      const std::array<Vec3, 4>& v,
+                                      int entry_face) {
+  VerticalExit out;
+  double s[6];
+  vertical_edge_products(xi, v, s);
+  for (int f = 0; f < 4; ++f) {
+    if (f == entry_face) continue;
+    double z;
+    const int r = classify_vertical_face(v, f, s, &z);
+    if (r == 0) continue;
+    if (r < 0) {
+      out.degenerate = true;
+      return out;
+    }
+    out.found = true;
+    out.exit_face = f;
+    out.z_exit = z;
+    return out;
+  }
+  out.degenerate = true;  // no exit through a face interior: edge/vertex case
+  return out;
+}
+
+bool line_triangle_moller(const Vec3& origin, const Vec3& dir, const Vec3& a,
+                          const Vec3& b, const Vec3& c, double& t, double& u,
+                          double& w) {
+  const Vec3 e1 = b - a;
+  const Vec3 e2 = c - a;
+  const Vec3 p = dir.cross(e2);
+  const double det = e1.dot(p);
+  if (det == 0.0) return false;
+  const double inv_det = 1.0 / det;
+  const Vec3 s = origin - a;
+  u = s.dot(p) * inv_det;
+  if (u < 0.0 || u > 1.0) return false;
+  const Vec3 q = s.cross(e1);
+  w = dir.dot(q) * inv_det;
+  if (w < 0.0 || u + w > 1.0) return false;
+  t = e2.dot(q) * inv_det;
+  return true;
+}
+
+LineTetraHit line_tetra_moller(const Vec3& origin, const Vec3& dir,
+                               const std::array<Vec3, 4>& v) {
+  LineTetraHit hit;
+  int found = 0;
+  for (int f = 0; f < 4 && found < 2; ++f) {
+    double t, u, w;
+    if (line_triangle_moller(origin, dir, v[kTetraFace[f][0]],
+                             v[kTetraFace[f][1]], v[kTetraFace[f][2]], t, u,
+                             w)) {
+      const Vec3 x = origin + dir * t;
+      if (found == 0) {
+        hit.enter_face = f;
+        hit.t_enter = t;
+        hit.enter_point = x;
+      } else {
+        hit.exit_face = f;
+        hit.t_exit = t;
+        hit.exit_point = x;
+      }
+      ++found;
+    }
+  }
+  if (found == 2) {
+    hit.intersects = true;
+    if (hit.t_enter > hit.t_exit) {
+      std::swap(hit.t_enter, hit.t_exit);
+      std::swap(hit.enter_face, hit.exit_face);
+      std::swap(hit.enter_point, hit.exit_point);
+    }
+  } else if (found == 1) {
+    hit.degenerate = true;
+  }
+  return hit;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,84 @@
+// 3D rotations for arbitrary projection directions.
+//
+// The paper's kernel integrates along z "to make calculations simpler,
+// however, in principle any arbitrary direction can be chosen by a simple
+// rotation of the triangulation" (§IV-A-2). Rotation provides that: build an
+// orthonormal frame whose third axis is the desired line of sight, rotate
+// the particle set into it, and run the vertical kernel unchanged.
+#pragma once
+
+#include <cmath>
+
+#include "geometry/vec3.h"
+
+namespace dtfe {
+
+/// Row-major 3×3 rotation (orthonormal, det +1 for proper rotations built by
+/// the factories below).
+struct Rotation {
+  Vec3 rows[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  static Rotation identity() { return {}; }
+
+  /// Rodrigues rotation about a (not necessarily unit) axis.
+  static Rotation about_axis(const Vec3& axis, double angle) {
+    const Vec3 k = axis.normalized();
+    const double c = std::cos(angle), s = std::sin(angle), t = 1.0 - c;
+    Rotation r;
+    r.rows[0] = {t * k.x * k.x + c, t * k.x * k.y - s * k.z,
+                 t * k.x * k.z + s * k.y};
+    r.rows[1] = {t * k.x * k.y + s * k.z, t * k.y * k.y + c,
+                 t * k.y * k.z - s * k.x};
+    r.rows[2] = {t * k.x * k.z - s * k.y, t * k.y * k.z + s * k.x,
+                 t * k.z * k.z + c};
+    return r;
+  }
+
+  /// A frame whose third row is the unit `direction`: applying the rotation
+  /// maps `direction` onto +ẑ, so a vertical march in the rotated frame
+  /// integrates along `direction` in the original one. The in-plane axes are
+  /// chosen deterministically (stable across calls).
+  static Rotation frame_for_direction(const Vec3& direction) {
+    const Vec3 d = direction.normalized();
+    // Pick the global axis least aligned with d to seed the first in-plane
+    // axis.
+    Vec3 seed{1, 0, 0};
+    if (std::abs(d.x) >= std::abs(d.y) && std::abs(d.x) >= std::abs(d.z))
+      seed = {0, 1, 0};
+    const Vec3 u = seed.cross(d).normalized();
+    const Vec3 v = d.cross(u);
+    Rotation r;
+    r.rows[0] = u;
+    r.rows[1] = v;
+    r.rows[2] = d;
+    return r;
+  }
+
+  Vec3 apply(const Vec3& p) const {
+    return {rows[0].dot(p), rows[1].dot(p), rows[2].dot(p)};
+  }
+  /// Inverse (= transpose) application.
+  Vec3 apply_inverse(const Vec3& p) const {
+    return rows[0] * p.x + rows[1] * p.y + rows[2] * p.z;
+  }
+
+  Rotation transposed() const {
+    Rotation r;
+    r.rows[0] = {rows[0].x, rows[1].x, rows[2].x};
+    r.rows[1] = {rows[0].y, rows[1].y, rows[2].y};
+    r.rows[2] = {rows[0].z, rows[1].z, rows[2].z};
+    return r;
+  }
+
+  /// this ∘ other: apply `other` first, then this.
+  Rotation compose(const Rotation& other) const {
+    const Rotation ot = other.transposed();
+    Rotation r;
+    for (int i = 0; i < 3; ++i)
+      r.rows[i] = {rows[i].dot(ot.rows[0]), rows[i].dot(ot.rows[1]),
+                   rows[i].dot(ot.rows[2])};
+    return r;
+  }
+};
+
+}  // namespace dtfe

@@ -1,0 +1,130 @@
+#include "nbody/field_statistics.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/fft.h"
+
+namespace dtfe {
+
+namespace {
+
+double kmode(std::size_t i, std::size_t n, double dk) {
+  auto ii = static_cast<std::ptrdiff_t>(i);
+  if (ii >= static_cast<std::ptrdiff_t>(n / 2))
+    ii -= static_cast<std::ptrdiff_t>(n);
+  return dk * static_cast<double>(ii);
+}
+
+}  // namespace
+
+std::vector<PowerSpectrumBin> measure_power_spectrum(const Grid3D& grid,
+                                                     double box_length,
+                                                     std::size_t bins) {
+  const std::size_t n = grid.nx();
+  DTFE_CHECK_MSG(grid.ny() == n && grid.nz() == n, "grid must be cubic");
+  DTFE_CHECK_MSG((n & (n - 1)) == 0, "grid resolution must be a power of 2");
+  if (bins == 0) bins = n / 2;
+
+  // Density contrast.
+  double mean = 0.0;
+  for (std::size_t iz = 0; iz < n; ++iz)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t ix = 0; ix < n; ++ix) mean += grid.at(ix, iy, iz);
+  mean /= static_cast<double>(n * n * n);
+  DTFE_CHECK_MSG(mean > 0.0, "field must have positive mean");
+
+  ComplexGrid3D delta(n);
+  for (std::size_t iz = 0; iz < n; ++iz)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t ix = 0; ix < n; ++ix)
+        delta.at(ix, iy, iz) = grid.at(ix, iy, iz) / mean - 1.0;
+  delta.transform(/*inverse=*/false);
+
+  const double dk = 2.0 * M_PI / box_length;
+  const double k_ny = dk * static_cast<double>(n) / 2.0;
+  // |δ_k|² · V / N_cells² is the standard volume-normalized estimator.
+  const double norm = box_length * box_length * box_length /
+                      std::pow(static_cast<double>(n * n * n), 2);
+
+  std::vector<PowerSpectrumBin> out(bins);
+  std::vector<double> ksum(bins, 0.0);
+  for (std::size_t iz = 0; iz < n; ++iz)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        if (ix == 0 && iy == 0 && iz == 0) continue;  // DC mode
+        const double kx = kmode(ix, n, dk), ky = kmode(iy, n, dk),
+                     kz = kmode(iz, n, dk);
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (k >= k_ny) continue;
+        const auto b = static_cast<std::size_t>(k / k_ny *
+                                                static_cast<double>(bins));
+        if (b >= bins) continue;
+        out[b].power += std::norm(delta.at(ix, iy, iz)) * norm;
+        ksum[b] += k;
+        ++out[b].modes;
+      }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (out[b].modes == 0) continue;
+    out[b].power /= static_cast<double>(out[b].modes);
+    out[b].k = ksum[b] / static_cast<double>(out[b].modes);
+  }
+  return out;
+}
+
+std::vector<PowerSpectrumBin> measure_power_spectrum_2d(const Grid2D& grid,
+                                                        double extent,
+                                                        std::size_t bins) {
+  const std::size_t n = grid.nx();
+  DTFE_CHECK_MSG(grid.ny() == n, "grid must be square");
+  DTFE_CHECK_MSG((n & (n - 1)) == 0, "grid resolution must be a power of 2");
+  if (bins == 0) bins = n / 2;
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) mean += grid.flat(i);
+  mean /= static_cast<double>(grid.size());
+  DTFE_CHECK_MSG(mean > 0.0, "field must have positive mean");
+
+  // Row FFTs then column FFTs on a flat complex copy.
+  std::vector<std::complex<double>> f(n * n);
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix)
+      f[iy * n + ix] = grid.at(ix, iy) / mean - 1.0;
+  for (std::size_t iy = 0; iy < n; ++iy)
+    fft_1d(std::span(&f[iy * n], n), false);
+  std::vector<std::complex<double>> col(n);
+  for (std::size_t ix = 0; ix < n; ++ix) {
+    for (std::size_t iy = 0; iy < n; ++iy) col[iy] = f[iy * n + ix];
+    fft_1d(col, false);
+    for (std::size_t iy = 0; iy < n; ++iy) f[iy * n + ix] = col[iy];
+  }
+
+  const double dk = 2.0 * M_PI / extent;
+  const double k_ny = dk * static_cast<double>(n) / 2.0;
+  const double norm =
+      extent * extent / std::pow(static_cast<double>(n * n), 2);
+
+  std::vector<PowerSpectrumBin> out(bins);
+  std::vector<double> ksum(bins, 0.0);
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      if (ix == 0 && iy == 0) continue;
+      const double kx = kmode(ix, n, dk), ky = kmode(iy, n, dk);
+      const double k = std::sqrt(kx * kx + ky * ky);
+      if (k >= k_ny) continue;
+      const auto b =
+          static_cast<std::size_t>(k / k_ny * static_cast<double>(bins));
+      if (b >= bins) continue;
+      out[b].power += std::norm(f[iy * n + ix]) * norm;
+      ksum[b] += k;
+      ++out[b].modes;
+    }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (out[b].modes == 0) continue;
+    out[b].power /= static_cast<double>(out[b].modes);
+    out[b].k = ksum[b] / static_cast<double>(out[b].modes);
+  }
+  return out;
+}
+
+}  // namespace dtfe

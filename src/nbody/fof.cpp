@@ -1,0 +1,154 @@
+#include "nbody/fof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+namespace {
+
+/// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<FofGroup> find_fof_groups(const ParticleSet& set,
+                                      const FofOptions& opt) {
+  const std::size_t n = set.size();
+  if (n == 0) return {};
+  const double box = set.box_length;
+  const double mean_spacing = box / std::cbrt(static_cast<double>(n));
+  const double link = opt.linking_parameter * mean_spacing;
+  const double link2 = link * link;
+
+  // Hash particles into cells of the linking length; only same-cell and
+  // forward-neighbor cells need pair checks.
+  auto cells_per_dim = static_cast<std::size_t>(box / link);
+  cells_per_dim = std::clamp<std::size_t>(cells_per_dim, 1, 512);
+  const double inv_cell = static_cast<double>(cells_per_dim) / box;
+  const std::size_t ncells = cells_per_dim * cells_per_dim * cells_per_dim;
+
+  auto cell_of = [&](const Vec3& p) {
+    auto c = [&](double v) {
+      auto i = static_cast<std::ptrdiff_t>(v * inv_cell);
+      return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+          i, 0, static_cast<std::ptrdiff_t>(cells_per_dim) - 1));
+    };
+    return (c(p.z) * cells_per_dim + c(p.y)) * cells_per_dim + c(p.x);
+  };
+
+  std::vector<std::uint32_t> cell_start(ncells + 1, 0);
+  std::vector<std::uint32_t> order(n);
+  {
+    std::vector<std::uint32_t> counts(ncells, 0);
+    for (const Vec3& p : set.positions) ++counts[cell_of(p)];
+    for (std::size_t c = 0; c < ncells; ++c)
+      cell_start[c + 1] = cell_start[c] + counts[c];
+    std::vector<std::uint32_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      order[cursor[cell_of(set.positions[i])]++] =
+          static_cast<std::uint32_t>(i);
+  }
+
+  UnionFind uf(n);
+  auto d2 = [&](std::uint32_t a, std::uint32_t b) {
+    return opt.periodic
+               ? periodic_dist2(set.positions[a], set.positions[b], box)
+               : (set.positions[a] - set.positions[b]).norm2();
+  };
+
+  const auto cpd = static_cast<std::ptrdiff_t>(cells_per_dim);
+  for (std::ptrdiff_t cz = 0; cz < cpd; ++cz)
+    for (std::ptrdiff_t cy = 0; cy < cpd; ++cy)
+      for (std::ptrdiff_t cx = 0; cx < cpd; ++cx) {
+        const std::size_t c =
+            (static_cast<std::size_t>(cz) * cells_per_dim +
+             static_cast<std::size_t>(cy)) * cells_per_dim +
+            static_cast<std::size_t>(cx);
+        // Half the 26-neighborhood (plus self) to visit each pair once.
+        static constexpr int off[14][3] = {
+            {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
+            {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
+            {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1}};
+        for (const auto& o : off) {
+          std::ptrdiff_t nx = cx + o[0], ny = cy + o[1], nz = cz + o[2];
+          if (opt.periodic) {
+            nx = (nx + cpd) % cpd;
+            ny = (ny + cpd) % cpd;
+            nz = (nz + cpd) % cpd;
+          } else if (nx < 0 || ny < 0 || nz < 0 || nx >= cpd || ny >= cpd ||
+                     nz >= cpd) {
+            continue;
+          }
+          const std::size_t nc =
+              (static_cast<std::size_t>(nz) * cells_per_dim +
+               static_cast<std::size_t>(ny)) * cells_per_dim +
+              static_cast<std::size_t>(nx);
+          const bool same = nc == c;
+          for (std::uint32_t i = cell_start[c]; i < cell_start[c + 1]; ++i)
+            for (std::uint32_t j = same ? i + 1 : cell_start[nc];
+                 j < cell_start[nc + 1]; ++j) {
+              const std::uint32_t a = order[i], b = order[j];
+              if (d2(a, b) <= link2) uf.unite(a, b);
+            }
+        }
+      }
+
+  // Gather groups.
+  std::vector<std::vector<std::uint32_t>> members_by_root;
+  std::vector<std::int32_t> root_slot(n, -1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = uf.find(i);
+    if (root_slot[r] < 0) {
+      root_slot[r] = static_cast<std::int32_t>(members_by_root.size());
+      members_by_root.emplace_back();
+    }
+    members_by_root[static_cast<std::size_t>(root_slot[r])].push_back(i);
+  }
+
+  std::vector<FofGroup> groups;
+  for (auto& m : members_by_root) {
+    if (m.size() < opt.min_group_size) continue;
+    FofGroup g;
+    g.members = std::move(m);
+    // Center of mass with minimum-image unwrapping around the first member.
+    const Vec3 ref = set.positions[g.members.front()];
+    Vec3 acc{0, 0, 0};
+    for (const std::uint32_t i : g.members)
+      acc += opt.periodic ? min_image(set.positions[i] - ref, box)
+                          : (set.positions[i] - ref);
+    g.center = ref + acc / static_cast<double>(g.members.size());
+    if (opt.periodic) g.center = wrap_periodic(g.center, box);
+    groups.push_back(std::move(g));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const FofGroup& a, const FofGroup& b) {
+              return a.size() > b.size();
+            });
+  return groups;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,198 @@
+#include "nbody/generators.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/fft.h"
+#include "util/rng.h"
+
+namespace dtfe {
+
+ParticleSet generate_uniform(std::size_t n, double box_length,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  ParticleSet set;
+  set.box_length = box_length;
+  set.positions.resize(n);
+  for (auto& p : set.positions)
+    p = {rng.uniform(0.0, box_length), rng.uniform(0.0, box_length),
+         rng.uniform(0.0, box_length)};
+  return set;
+}
+
+ParticleSet generate_lattice(std::size_t per_dim, double box_length,
+                             double jitter_fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  ParticleSet set;
+  set.box_length = box_length;
+  const double spacing = box_length / static_cast<double>(per_dim);
+  const double j = jitter_fraction * spacing;
+  set.positions.reserve(per_dim * per_dim * per_dim);
+  for (std::size_t z = 0; z < per_dim; ++z)
+    for (std::size_t y = 0; y < per_dim; ++y)
+      for (std::size_t x = 0; x < per_dim; ++x) {
+        Vec3 p{(static_cast<double>(x) + 0.5) * spacing,
+               (static_cast<double>(y) + 0.5) * spacing,
+               (static_cast<double>(z) + 0.5) * spacing};
+        if (j > 0.0)
+          p += {j * (rng.uniform() - 0.5), j * (rng.uniform() - 0.5),
+                j * (rng.uniform() - 0.5)};
+        set.positions.push_back(wrap_periodic(p, box_length));
+      }
+  return set;
+}
+
+ParticleSet generate_zeldovich(const ZeldovichOptions& opt) {
+  const std::size_t n = opt.grid;
+  DTFE_CHECK_MSG(n >= 4 && (n & (n - 1)) == 0,
+                 "Zel'dovich grid must be a power of 2 (FFT)");
+  const double L = opt.box_length;
+  const double dk = 2.0 * M_PI / L;
+
+  // White noise in real space → Fourier transform → shape by sqrt(P(k)).
+  // Going through real space guarantees the Hermitian symmetry that makes
+  // the displacement fields real.
+  ComplexGrid3D delta(n);
+  {
+    Rng rng(opt.seed);
+    const double norm =
+        std::pow(static_cast<double>(n), 1.5) / std::pow(L, 1.5);
+    for (auto& c : delta.flat()) c = {rng.normal() * norm, 0.0};
+  }
+  delta.transform(/*inverse=*/false);
+
+  auto k_of = [&](std::size_t i) {
+    const auto half = static_cast<std::ptrdiff_t>(n / 2);
+    auto ii = static_cast<std::ptrdiff_t>(i);
+    if (ii >= half) ii -= static_cast<std::ptrdiff_t>(n);
+    return dk * static_cast<double>(ii);
+  };
+
+  // ψ(k) = i k / k² · δ(k): three displacement component grids.
+  ComplexGrid3D psi[3] = {ComplexGrid3D(n), ComplexGrid3D(n),
+                          ComplexGrid3D(n)};
+  for (std::size_t iz = 0; iz < n; ++iz)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        const double kx = k_of(ix), ky = k_of(iy), kz = k_of(iz);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        if (k2 == 0.0) continue;
+        const double k = std::sqrt(k2);
+        const double amp = std::sqrt(opt.spectrum(k));
+        const std::complex<double> d = delta.at(ix, iy, iz) * amp;
+        const std::complex<double> i_over_k2(0.0, 1.0 / k2);
+        psi[0].at(ix, iy, iz) = i_over_k2 * kx * d;
+        psi[1].at(ix, iy, iz) = i_over_k2 * ky * d;
+        psi[2].at(ix, iy, iz) = i_over_k2 * kz * d;
+      }
+  for (auto& g : psi) g.transform(/*inverse=*/true);
+
+  ParticleSet set;
+  set.box_length = L;
+  set.positions.reserve(n * n * n);
+  const double spacing = L / static_cast<double>(n);
+
+  // Normalize: rescale the displacement field to the requested RMS (in mean
+  // interparticle spacings), then apply the growth factor.
+  double ms = 0.0;
+  for (std::size_t i = 0; i < n * n * n; ++i) {
+    const Vec3 d{psi[0].flat()[i].real(), psi[1].flat()[i].real(),
+                 psi[2].flat()[i].real()};
+    ms += d.norm2();
+  }
+  ms /= static_cast<double>(n * n * n);
+  const double scale =
+      ms > 0.0 ? opt.rms_displacement * spacing / std::sqrt(ms) : 0.0;
+  for (std::size_t iz = 0; iz < n; ++iz)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        const Vec3 q{(static_cast<double>(ix) + 0.5) * spacing,
+                     (static_cast<double>(iy) + 0.5) * spacing,
+                     (static_cast<double>(iz) + 0.5) * spacing};
+        const Vec3 disp{psi[0].at(ix, iy, iz).real(),
+                        psi[1].at(ix, iy, iz).real(),
+                        psi[2].at(ix, iy, iz).real()};
+        set.positions.push_back(
+            wrap_periodic(q + disp * (scale * opt.growth), L));
+      }
+  return set;
+}
+
+namespace {
+
+/// Inverse of the NFW cumulative mass profile m(x) = ln(1+x) − x/(1+x) by
+/// bisection on x ∈ [0, c].
+double nfw_inverse_cdf(double u, double c) {
+  const double total = std::log(1.0 + c) - c / (1.0 + c);
+  const double target = u * total;
+  double lo = 0.0, hi = c;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double m = std::log(1.0 + mid) - mid / (1.0 + mid);
+    (m < target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+ParticleSet generate_halo_model(const HaloModelOptions& opt) {
+  Rng rng(opt.seed);
+  ParticleSet set;
+  set.box_length = opt.box_length;
+  set.positions.reserve(opt.n_particles);
+
+  const auto n_bg = static_cast<std::size_t>(
+      opt.background_fraction * static_cast<double>(opt.n_particles));
+  const std::size_t n_halo_particles = opt.n_particles - n_bg;
+
+  // Power-law halo masses (relative units): inverse-CDF sampling of
+  // P(M) ∝ M^-slope on [mmin, 1].
+  std::vector<double> halo_mass(opt.n_halos);
+  double mass_sum = 0.0;
+  for (auto& m : halo_mass) {
+    const double u = rng.uniform();
+    const double a = 1.0 - opt.mass_slope;
+    const double mmin = opt.mass_min_fraction;
+    if (std::abs(a) < 1e-12) {
+      m = mmin * std::pow(1.0 / mmin, u);
+    } else {
+      const double lo = std::pow(mmin, a);
+      m = std::pow(lo + u * (1.0 - lo), 1.0 / a);
+    }
+    mass_sum += m;
+  }
+
+  for (std::size_t h = 0; h < opt.n_halos; ++h) {
+    const Vec3 center{rng.uniform(0.0, opt.box_length),
+                      rng.uniform(0.0, opt.box_length),
+                      rng.uniform(0.0, opt.box_length)};
+    const double mfrac = halo_mass[h] / mass_sum;
+    auto count = static_cast<std::size_t>(
+        mfrac * static_cast<double>(n_halo_particles) + 0.5);
+    // Virial-like radius R ∝ M^{1/3}; concentration c ∝ M^{-0.1}.
+    const double radius =
+        opt.radius_fraction * opt.box_length * std::cbrt(halo_mass[h]);
+    const double conc = opt.concentration * std::pow(halo_mass[h], -0.1);
+    const double rs = radius / conc;
+    for (std::size_t i = 0; i < count && set.positions.size() < opt.n_particles;
+         ++i) {
+      const double x = nfw_inverse_cdf(rng.uniform(), conc);
+      const double r = x * rs;
+      // isotropic direction
+      const double cos_t = rng.uniform(-1.0, 1.0);
+      const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+      const double phi = rng.uniform(0.0, 2.0 * M_PI);
+      const Vec3 dir{sin_t * std::cos(phi), sin_t * std::sin(phi), cos_t};
+      set.positions.push_back(wrap_periodic(center + dir * r, opt.box_length));
+    }
+  }
+
+  while (set.positions.size() < opt.n_particles)
+    set.positions.push_back({rng.uniform(0.0, opt.box_length),
+                             rng.uniform(0.0, opt.box_length),
+                             rng.uniform(0.0, opt.box_length)});
+  return set;
+}
+
+}  // namespace dtfe

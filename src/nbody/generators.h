@@ -1,0 +1,72 @@
+// Synthetic N-body snapshot generators.
+//
+// The paper's experiments run on HACC simulations (Planck 1024³, MiraU
+// 3200³) and a Gadget demo snapshot — none of which are available here. The
+// generators below produce particle distributions with the same statistical
+// features the paper's experiments depend on: large-scale Gaussian structure
+// (cosmic web via the Zel'dovich approximation), strong small-scale
+// clustering (NFW halos, the source of the load imbalance the paper
+// addresses), and controllable particle counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbody/particles.h"
+#include "nbody/power_spectrum.h"
+
+namespace dtfe {
+
+/// Uniform random (Poisson) particles — the homogeneous control case.
+ParticleSet generate_uniform(std::size_t n, double box_length,
+                             std::uint64_t seed);
+
+/// Regular lattice with optional jitter — degenerate-input stress data.
+ParticleSet generate_lattice(std::size_t per_dim, double box_length,
+                             double jitter_fraction, std::uint64_t seed);
+
+struct ZeldovichOptions {
+  std::size_t grid = 64;          ///< particles per dimension (also FFT grid)
+  double box_length = 100.0;
+  PowerSpectrum spectrum;
+  /// Displacement growth factor; larger values push past shell crossing and
+  /// deepen the clustering (late-time snapshots).
+  double growth = 1.0;
+  /// RMS displacement in units of the mean interparticle spacing before the
+  /// growth factor is applied; the generated field is rescaled to this
+  /// (fixing the overall normalization the way cosmologists fix σ8). Values
+  /// around 1–2 with growth 1 give a well-developed cosmic web.
+  double rms_displacement = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Zel'dovich approximation: displace a particle lattice by the gradient of
+/// the gravitational potential of a Gaussian random field with the given
+/// power spectrum (computed with the library's own 3D FFT). First-order
+/// Lagrangian perturbation theory — the standard cheap cosmic-web generator.
+ParticleSet generate_zeldovich(const ZeldovichOptions& opt);
+
+struct HaloModelOptions {
+  std::size_t n_particles = 100000;
+  double box_length = 100.0;
+  std::size_t n_halos = 64;
+  /// Halo mass function slope: P(M) ∝ M^-alpha on [mass_min_fraction, 1].
+  double mass_slope = 1.9;
+  double mass_min_fraction = 0.01;
+  /// NFW concentration at the maximum halo mass; smaller halos are more
+  /// concentrated via c ∝ M^-0.1.
+  double concentration = 8.0;
+  /// Halo radius as a fraction of the box for the most massive halo.
+  double radius_fraction = 0.05;
+  /// Fraction of particles in the smooth uniform background.
+  double background_fraction = 0.2;
+  std::uint64_t seed = 2;
+};
+
+/// Halo model: NFW-profile halos with a power-law mass function plus a
+/// uniform background. Produces the highly clustered distributions that
+/// drive the paper's load-imbalance experiments (galaxy-galaxy lensing
+/// fields sit exactly on such concentrations).
+ParticleSet generate_halo_model(const HaloModelOptions& opt);
+
+}  // namespace dtfe

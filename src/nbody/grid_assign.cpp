@@ -1,0 +1,113 @@
+#include "nbody/grid_assign.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+namespace {
+
+// One-dimensional assignment weights for a particle at fractional cell
+// coordinate x (in units of the cell size): fills `cells[k]`/`weights[k]`
+// for up to 3 cells and returns the count.
+int weights_1d(AssignmentScheme scheme, double x_cells, std::ptrdiff_t n,
+               std::ptrdiff_t cells[3], double weights[3]) {
+  auto wrap = [n](std::ptrdiff_t c) { return ((c % n) + n) % n; };
+  switch (scheme) {
+    case AssignmentScheme::kNgp: {
+      cells[0] = wrap(static_cast<std::ptrdiff_t>(std::floor(x_cells)));
+      weights[0] = 1.0;
+      return 1;
+    }
+    case AssignmentScheme::kCic: {
+      // Cloud center relative to cell centers at k+0.5.
+      const double s = x_cells - 0.5;
+      const auto base = static_cast<std::ptrdiff_t>(std::floor(s));
+      const double frac = s - static_cast<double>(base);
+      cells[0] = wrap(base);
+      cells[1] = wrap(base + 1);
+      weights[0] = 1.0 - frac;
+      weights[1] = frac;
+      return 2;
+    }
+    case AssignmentScheme::kTsc: {
+      const double s = x_cells - 0.5;
+      const auto mid = static_cast<std::ptrdiff_t>(std::floor(s + 0.5));
+      const double d = s - static_cast<double>(mid);  // in [-0.5, 0.5)
+      cells[0] = wrap(mid - 1);
+      cells[1] = wrap(mid);
+      cells[2] = wrap(mid + 1);
+      weights[0] = 0.5 * (0.5 - d) * (0.5 - d);
+      weights[1] = 0.75 - d * d;
+      weights[2] = 0.5 * (0.5 + d) * (0.5 + d);
+      return 3;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Grid3D assign_density_3d(const ParticleSet& set, std::size_t cells_per_dim,
+                         AssignmentScheme scheme) {
+  DTFE_CHECK(cells_per_dim >= 1);
+  const auto n = static_cast<std::ptrdiff_t>(cells_per_dim);
+  const double inv_cell =
+      static_cast<double>(cells_per_dim) / set.box_length;
+  Grid3D grid(cells_per_dim, cells_per_dim, cells_per_dim);
+
+  std::ptrdiff_t cx[3], cy[3], cz[3];
+  double wx[3], wy[3], wz[3];
+  for (const Vec3& p : set.positions) {
+    const Vec3 w = wrap_periodic(p, set.box_length);
+    const int kx = weights_1d(scheme, w.x * inv_cell, n, cx, wx);
+    const int ky = weights_1d(scheme, w.y * inv_cell, n, cy, wy);
+    const int kz = weights_1d(scheme, w.z * inv_cell, n, cz, wz);
+    for (int a = 0; a < kx; ++a)
+      for (int b = 0; b < ky; ++b)
+        for (int c = 0; c < kz; ++c)
+          grid.at(static_cast<std::size_t>(cx[a]),
+                  static_cast<std::size_t>(cy[b]),
+                  static_cast<std::size_t>(cz[c])) +=
+              set.particle_mass * wx[a] * wy[b] * wz[c];
+  }
+
+  const double cell = set.box_length / static_cast<double>(cells_per_dim);
+  const double inv_vol = 1.0 / (cell * cell * cell);
+  Grid3D out = std::move(grid);
+  for (std::size_t iz = 0; iz < cells_per_dim; ++iz)
+    for (std::size_t iy = 0; iy < cells_per_dim; ++iy)
+      for (std::size_t ix = 0; ix < cells_per_dim; ++ix)
+        out.at(ix, iy, iz) *= inv_vol;
+  return out;
+}
+
+Grid2D assign_surface_density(const ParticleSet& set,
+                              std::size_t cells_per_dim,
+                              AssignmentScheme scheme) {
+  DTFE_CHECK(cells_per_dim >= 1);
+  const auto n = static_cast<std::ptrdiff_t>(cells_per_dim);
+  const double inv_cell =
+      static_cast<double>(cells_per_dim) / set.box_length;
+  Grid2D grid(cells_per_dim, cells_per_dim);
+
+  std::ptrdiff_t cx[3], cy[3];
+  double wx[3], wy[3];
+  for (const Vec3& p : set.positions) {
+    const Vec3 w = wrap_periodic(p, set.box_length);
+    const int kx = weights_1d(scheme, w.x * inv_cell, n, cx, wx);
+    const int ky = weights_1d(scheme, w.y * inv_cell, n, cy, wy);
+    for (int a = 0; a < kx; ++a)
+      for (int b = 0; b < ky; ++b)
+        grid.at(static_cast<std::size_t>(cx[a]),
+                static_cast<std::size_t>(cy[b])) +=
+            set.particle_mass * wx[a] * wy[b];
+  }
+
+  const double cell = set.box_length / static_cast<double>(cells_per_dim);
+  for (double& v : grid.values()) v /= cell * cell;
+  return grid;
+}
+
+}  // namespace dtfe

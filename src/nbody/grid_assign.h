@@ -1,0 +1,32 @@
+// Classic grid mass-assignment schemes: NGP, CIC, TSC.
+//
+// These are the standard fixed-kernel density estimators the DTFE literature
+// (and the DTFE public software) compares against: cheap, but with
+// resolution tied to the grid spacing and shot noise the adaptive
+// tessellation estimators avoid. Included both as baselines for the noise
+// benchmarks and as generally useful utilities (the surface-density variant
+// projects the 3D assignment along z).
+#pragma once
+
+#include "dtfe/field.h"
+#include "nbody/particles.h"
+
+namespace dtfe {
+
+enum class AssignmentScheme {
+  kNgp,  ///< nearest grid point (order 0)
+  kCic,  ///< cloud in cell (order 1)
+  kTsc,  ///< triangular shaped cloud (order 2)
+};
+
+/// 3D density grid over the (periodic) box: mass deposited per cell divided
+/// by the cell volume.
+Grid3D assign_density_3d(const ParticleSet& set, std::size_t cells_per_dim,
+                         AssignmentScheme scheme);
+
+/// Surface density on an Ng×Ng grid covering the full box cross-section:
+/// the z-projection of the 3D assignment (Σ = column mass / cell area).
+Grid2D assign_surface_density(const ParticleSet& set, std::size_t cells_per_dim,
+                              AssignmentScheme scheme);
+
+}  // namespace dtfe

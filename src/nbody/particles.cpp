@@ -1,0 +1,37 @@
+#include "nbody/particles.h"
+
+#include <cmath>
+
+namespace dtfe {
+
+std::vector<Vec3> extract_cube(const ParticleSet& set, const Vec3& center,
+                               double side) {
+  std::vector<Vec3> out;
+  const double h = 0.5 * side;
+  const double box = set.box_length;
+  for (const Vec3& p : set.positions) {
+    const Vec3 d = min_image(p - center, box);
+    if (std::abs(d.x) <= h && std::abs(d.y) <= h && std::abs(d.z) <= h)
+      out.push_back(center + d);
+  }
+  return out;
+}
+
+std::vector<Vec3> with_periodic_pad(const ParticleSet& set, double pad) {
+  const double box = set.box_length;
+  std::vector<Vec3> out;
+  out.reserve(set.size() + set.size() / 4);
+  for (const Vec3& p : set.positions)
+    for (const double sx : {-box, 0.0, box})
+      for (const double sy : {-box, 0.0, box})
+        for (const double sz : {-box, 0.0, box}) {
+          const Vec3 q{p.x + sx, p.y + sy, p.z + sz};
+          if (q.x < -pad || q.x > box + pad || q.y < -pad ||
+              q.y > box + pad || q.z < -pad || q.z > box + pad)
+            continue;
+          out.push_back(q);
+        }
+  return out;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,33 @@
+// Linear matter power spectra for the initial-condition generator.
+#pragma once
+
+#include <cmath>
+
+namespace dtfe {
+
+/// CDM-like linear power spectrum: primordial tilt n_s with the BBKS
+/// transfer function (Bardeen, Bond, Kaiser & Szalay 1986) — the standard
+/// analytic stand-in for a full Boltzmann-code spectrum. Units are box
+/// units; `shape_gamma` plays the role of Γ·(h/Mpc).
+struct PowerSpectrum {
+  double amplitude = 1.0;
+  double tilt = 1.0;         ///< n_s
+  double shape_gamma = 0.2;  ///< turnover scale parameter
+
+  double transfer(double k) const {
+    const double q = k / shape_gamma;
+    if (q <= 0.0) return 1.0;
+    const double t1 = std::log(1.0 + 2.34 * q) / (2.34 * q);
+    const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                        std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+    return t1 * std::pow(poly, -0.25);
+  }
+
+  double operator()(double k) const {
+    if (k <= 0.0) return 0.0;
+    const double t = transfer(k);
+    return amplitude * std::pow(k, tilt) * t * t;
+  }
+};
+
+}  // namespace dtfe

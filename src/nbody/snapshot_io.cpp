@@ -1,0 +1,129 @@
+#include "nbody/snapshot_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x44544645534e4150ull;  // "DTFESNAP"
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  DTFE_CHECK_MSG(in.good(), "unexpected end of snapshot file");
+  return v;
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path, const ParticleSet& set,
+                    std::size_t blocks_per_dim) {
+  DTFE_CHECK(blocks_per_dim >= 1);
+  const std::size_t nb = blocks_per_dim * blocks_per_dim * blocks_per_dim;
+  const double sub = set.box_length / static_cast<double>(blocks_per_dim);
+
+  // Bucket particles by sub-volume (the "writing rank" layout).
+  auto block_of = [&](const Vec3& p) {
+    auto c = [&](double v) {
+      auto i = static_cast<std::size_t>(v / sub);
+      return std::min(i, blocks_per_dim - 1);
+    };
+    return (c(p.z) * blocks_per_dim + c(p.y)) * blocks_per_dim + c(p.x);
+  };
+  std::vector<std::vector<std::uint32_t>> buckets(nb);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    buckets[block_of(set.positions[i])].push_back(
+        static_cast<std::uint32_t>(i));
+
+  std::ofstream out(path, std::ios::binary);
+  DTFE_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  put(out, kMagic);
+  put(out, set.box_length);
+  put(out, set.particle_mass);
+  put(out, static_cast<std::uint64_t>(set.size()));
+  put(out, static_cast<std::uint64_t>(nb));
+
+  std::uint64_t offset = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t bx = b % blocks_per_dim;
+    const std::size_t by = (b / blocks_per_dim) % blocks_per_dim;
+    const std::size_t bz = b / (blocks_per_dim * blocks_per_dim);
+    put(out, offset);
+    put(out, static_cast<std::uint64_t>(buckets[b].size()));
+    put(out, Vec3{static_cast<double>(bx) * sub, static_cast<double>(by) * sub,
+                  static_cast<double>(bz) * sub});
+    put(out, Vec3{static_cast<double>(bx + 1) * sub,
+                  static_cast<double>(by + 1) * sub,
+                  static_cast<double>(bz + 1) * sub});
+    offset += buckets[b].size();
+  }
+  for (std::size_t b = 0; b < nb; ++b)
+    for (const std::uint32_t i : buckets[b]) put(out, set.positions[i]);
+  DTFE_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+SnapshotHeader read_snapshot_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DTFE_CHECK_MSG(in.good(), "cannot open " << path);
+  DTFE_CHECK_MSG(get<std::uint64_t>(in) == kMagic,
+                 path << " is not a DTFE snapshot");
+  SnapshotHeader h;
+  h.box_length = get<double>(in);
+  h.particle_mass = get<double>(in);
+  h.n_particles = get<std::uint64_t>(in);
+  const auto nb = get<std::uint64_t>(in);
+  h.blocks.resize(nb);
+  for (auto& b : h.blocks) {
+    b.offset_particles = get<std::uint64_t>(in);
+    b.count = get<std::uint64_t>(in);
+    b.sub_lo = get<Vec3>(in);
+    b.sub_hi = get<Vec3>(in);
+  }
+  return h;
+}
+
+std::vector<Vec3> read_snapshot_block(const std::string& path,
+                                      const SnapshotHeader& header,
+                                      std::size_t block_index) {
+  DTFE_CHECK(block_index < header.blocks.size());
+  const SnapshotBlock& b = header.blocks[block_index];
+  std::ifstream in(path, std::ios::binary);
+  DTFE_CHECK_MSG(in.good(), "cannot open " << path);
+  const std::streamoff header_bytes =
+      static_cast<std::streamoff>(4 * sizeof(std::uint64_t) + sizeof(double) +
+                                  header.blocks.size() *
+                                      (2 * sizeof(std::uint64_t) + 6 * sizeof(double)));
+  in.seekg(header_bytes + static_cast<std::streamoff>(b.offset_particles *
+                                                      sizeof(Vec3)));
+  std::vector<Vec3> out(b.count);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(b.count * sizeof(Vec3)));
+  DTFE_CHECK_MSG(in.good(), "unexpected end of snapshot file");
+  return out;
+}
+
+ParticleSet read_snapshot(const std::string& path) {
+  const SnapshotHeader h = read_snapshot_header(path);
+  ParticleSet set;
+  set.box_length = h.box_length;
+  set.particle_mass = h.particle_mass;
+  set.positions.reserve(h.n_particles);
+  for (std::size_t b = 0; b < h.blocks.size(); ++b) {
+    const auto block = read_snapshot_block(path, h, b);
+    set.positions.insert(set.positions.end(), block.begin(), block.end());
+  }
+  return set;
+}
+
+}  // namespace dtfe

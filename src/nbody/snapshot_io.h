@@ -1,0 +1,48 @@
+// Binary snapshot I/O in a HACC-like blocked layout.
+//
+// The paper's partition phase reads simulation output where "on disk the
+// data block written by a process represents a contiguous sub-volume" and
+// performs a parallel read with arbitrary block assignment. This format
+// mirrors that: a header, a block table (one block per writing rank,
+// spatially contiguous), then packed xyz doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbody/particles.h"
+
+namespace dtfe {
+
+struct SnapshotBlock {
+  std::uint64_t offset_particles = 0;  ///< first particle index
+  std::uint64_t count = 0;
+  Vec3 sub_lo, sub_hi;  ///< sub-volume this block covers
+};
+
+struct SnapshotHeader {
+  double box_length = 0.0;
+  double particle_mass = 0.0;
+  std::uint64_t n_particles = 0;
+  std::vector<SnapshotBlock> blocks;
+};
+
+/// Write `set` split into blocks^3 spatially contiguous sub-volume blocks
+/// (each block holds the particles of one uniform sub-volume, like the
+/// per-rank output of a volume-decomposed N-body code).
+void write_snapshot(const std::string& path, const ParticleSet& set,
+                    std::size_t blocks_per_dim);
+
+/// Read only the header + block table.
+SnapshotHeader read_snapshot_header(const std::string& path);
+
+/// Read one block's particles (the parallel-read unit).
+std::vector<Vec3> read_snapshot_block(const std::string& path,
+                                      const SnapshotHeader& header,
+                                      std::size_t block_index);
+
+/// Read the whole snapshot.
+ParticleSet read_snapshot(const std::string& path);
+
+}  // namespace dtfe

@@ -1,0 +1,161 @@
+#include "simmpi/comm.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace dtfe::simmpi {
+
+namespace {
+// Tags at and above this value are reserved for collectives.
+constexpr int kInternalTagBase = 1 << 24;
+constexpr int kTagBarrier = kInternalTagBase + 0;
+constexpr int kTagBcast = kInternalTagBase + 1;
+constexpr int kTagGather = kInternalTagBase + 2;
+constexpr int kTagReduce = kInternalTagBase + 3;
+}  // namespace
+
+class Runtime {
+ public:
+  explicit Runtime(int nranks) : boxes_(static_cast<std::size_t>(nranks)) {}
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+
+  void send(int src, int dest, int tag, std::span<const std::byte> data) {
+    DTFE_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
+    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queue.push_back(
+          Message{src, tag, std::vector<std::byte>(data.begin(), data.end())});
+    }
+    box.cv.notify_all();
+  }
+
+  std::vector<std::byte> recv(int me, int source, int tag,
+                              int* actual_source) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(me)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if ((source == kAnySource || it->src == source) && it->tag == tag) {
+          if (actual_source) *actual_source = it->src;
+          std::vector<std::byte> data = std::move(it->payload);
+          box.queue.erase(it);
+          return data;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  bool iprobe(int me, int source, int tag) const {
+    const Mailbox& box = boxes_[static_cast<std::size_t>(me)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    for (const Message& m : box.queue)
+      if ((source == kAnySource || m.src == source) && m.tag == tag)
+        return true;
+    return false;
+  }
+
+ private:
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<Mailbox> boxes_;
+};
+
+int Comm::size() const { return rt_->size(); }
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  rt_->send(rank_, dest, tag, data);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag,
+                                        int* actual_source) {
+  return rt_->recv(rank_, source, tag, actual_source);
+}
+
+bool Comm::iprobe(int source, int tag) const {
+  return rt_->iprobe(rank_, source, tag);
+}
+
+void Comm::barrier() {
+  // Dissemination-free simple tree-less barrier: gather-to-0 then release.
+  const std::byte token{0};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) (void)recv_bytes(r, kTagBarrier);
+    for (int r = 1; r < size(); ++r) send_bytes(r, kTagBarrier, {&token, 1});
+  } else {
+    send_bytes(0, kTagBarrier, {&token, 1});
+    (void)recv_bytes(0, kTagBarrier);
+  }
+}
+
+void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send_bytes(r, kTagBcast, data);
+  } else {
+    data = recv_bytes(root, kTagBcast);
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(
+    std::span<const std::byte> mine) {
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+  for (int r = 0; r < size(); ++r)
+    if (r != rank_) send_bytes(r, kTagGather, mine);
+  for (int r = 0; r < size(); ++r)
+    if (r != rank_) out[static_cast<std::size_t>(r)] = recv_bytes(r, kTagGather);
+  return out;
+}
+
+double Comm::allreduce_sum(double x) {
+  double total = 0.0;
+  for (const double v : allgather(x)) total += v;
+  return total;
+}
+
+double Comm::allreduce_max(double x) {
+  double best = x;
+  for (const double v : allgather(x)) best = v > best ? v : best;
+  return best;
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  DTFE_CHECK(nranks >= 1);
+  Runtime rt(nranks);
+  std::vector<std::thread> threads;
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) comms.push_back(Comm(&rt, r));
+
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    Comm* comm = &comms[static_cast<std::size_t>(r)];
+    threads.emplace_back([comm, &fn, &err_mutex, &first_error] {
+      try {
+        fn(*comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dtfe::simmpi

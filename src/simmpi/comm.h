@@ -1,0 +1,146 @@
+// A message-passing runtime with MPI semantics over thread-backed ranks.
+//
+// The paper's distributed framework is written against MPI (MPI_Send/Recv,
+// MPI_Allgather, MPI_Bcast). No MPI implementation is available in this
+// environment, so this module provides the same programming model: each
+// "rank" is a thread with a private mailbox; point-to-point messages are
+// blocking, FIFO per (source, destination) pair, and matched by (source,
+// tag); collectives are built on point-to-point and must be entered by all
+// ranks in the same program order, exactly like MPI.
+//
+// Framework code only touches the Comm interface, so porting to real MPI is
+// a mechanical substitution (the paper's own claim about its triangulation
+// library applies here too).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtfe::simmpi {
+
+constexpr int kAnySource = -1;
+
+class Runtime;
+
+/// Per-rank communicator handle. Cheap to copy within the owning rank's
+/// thread; NOT meant to be shared across threads.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point to point ------------------------------------------------------
+
+  /// Blocking send (buffered: returns once the payload is enqueued, like an
+  /// MPI_Send that fits the eager threshold).
+  void send_bytes(int dest, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive matching (source, tag); source may be kAnySource.
+  /// Returns the payload and fills `actual_source` if provided.
+  std::vector<std::byte> recv_bytes(int source, int tag,
+                                    int* actual_source = nullptr);
+
+  /// Non-blocking probe: true if a matching message is waiting.
+  bool iprobe(int source, int tag) const;
+
+  // --- typed convenience (trivially copyable payloads) ---------------------
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::byte*>(&v), sizeof(T)});
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag, int* actual_source = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag, actual_source);
+    DTFE_CHECK(bytes.size() == sizeof(T));
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void send_vector(int dest, int tag, std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::byte*>(v.data()),
+                v.size() * sizeof(T)});
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag,
+                             int* actual_source = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag, actual_source);
+    DTFE_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> v(bytes.size() / sizeof(T));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  // --- collectives (all ranks must call in the same order) ------------------
+
+  void barrier();
+  /// Root's payload is broadcast; non-roots' buffers are replaced.
+  void bcast_bytes(std::vector<std::byte>& data, int root);
+  /// Every rank contributes a value; all receive the per-rank array.
+  template <typename T>
+  std::vector<T> allgather(const T& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto per_rank = allgather_bytes(
+        {reinterpret_cast<const std::byte*>(&mine), sizeof(T)});
+    std::vector<T> out(per_rank.size());
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      DTFE_CHECK(per_rank[r].size() == sizeof(T));
+      std::memcpy(&out[r], per_rank[r].data(), sizeof(T));
+    }
+    return out;
+  }
+  /// Variable-size allgather (MPI_Allgatherv): returns one byte buffer per
+  /// rank.
+  std::vector<std::vector<std::byte>> allgather_bytes(
+      std::span<const std::byte> mine);
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = allgather_bytes(
+        {reinterpret_cast<const std::byte*>(mine.data()),
+         mine.size() * sizeof(T)});
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+      out[r].resize(raw[r].size() / sizeof(T));
+      std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+    }
+    return out;
+  }
+  double allreduce_sum(double x);
+  double allreduce_max(double x);
+
+ private:
+  friend class Runtime;
+  friend void run(int nranks, const std::function<void(Comm&)>& fn);
+  Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+
+  Runtime* rt_;
+  int rank_;
+};
+
+/// Spawn `nranks` threads, each running fn(comm). Exceptions thrown by any
+/// rank are collected and the first is rethrown after all ranks finish or
+/// deadlock-free shutdown. Ranks may freely oversubscribe the hardware —
+/// blocking receives sleep on condition variables.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace dtfe::simmpi

@@ -1,0 +1,44 @@
+#include "util/binpack.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dtfe {
+
+BinAssignment pack_first_fit(std::span<const double> item_sizes,
+                             std::span<const double> bin_capacities) {
+  BinAssignment out;
+  out.item_to_bin.assign(item_sizes.size(), BinAssignment::kUnassigned);
+  out.slack.assign(bin_capacities.begin(), bin_capacities.end());
+
+  std::vector<std::size_t> item_order(item_sizes.size());
+  std::iota(item_order.begin(), item_order.end(), std::size_t{0});
+  std::stable_sort(item_order.begin(), item_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return item_sizes[a] > item_sizes[b];
+                   });
+
+  std::vector<std::size_t> bin_order(bin_capacities.size());
+  std::iota(bin_order.begin(), bin_order.end(), std::size_t{0});
+  std::stable_sort(bin_order.begin(), bin_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return bin_capacities[a] < bin_capacities[b];
+                   });
+
+  for (std::size_t i : item_order) {
+    const double size = item_sizes[i];
+    bool placed = false;
+    for (std::size_t b : bin_order) {
+      if (out.slack[b] >= size) {
+        out.slack[b] -= size;
+        out.item_to_bin[i] = static_cast<std::ptrdiff_t>(b);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) out.overflow += size;
+  }
+  return out;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,35 @@
+// Greedy first-fit approximation to the variable-sized bin packing problem
+// (paper §IV-D, citing Kang & Park 2003).
+//
+// The work-sharing executor has to decide which local work items a *sender*
+// computes between its scheduled MPI_Send calls. The gaps between sends are
+// "bins" of time; local work items are the "items". Following the paper, the
+// items are sorted in descending size and the bins in ascending capacity, and
+// each item is placed first-fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dtfe {
+
+struct BinAssignment {
+  /// assignment[i] = bin index for item i, or kUnassigned if it fit nowhere.
+  std::vector<std::ptrdiff_t> item_to_bin;
+  /// Remaining capacity per bin after packing.
+  std::vector<double> slack;
+  /// Total size of items that did not fit in any bin.
+  double overflow = 0.0;
+
+  static constexpr std::ptrdiff_t kUnassigned = -1;
+};
+
+/// First-fit-decreasing over variable-capacity bins sorted ascending.
+/// `item_sizes` and `bin_capacities` are in the caller's units (seconds of
+/// predicted work, in the framework). Items that fit nowhere are reported in
+/// `overflow` and left unassigned — the executor runs those after all sends.
+BinAssignment pack_first_fit(std::span<const double> item_sizes,
+                             std::span<const double> bin_capacities);
+
+}  // namespace dtfe

@@ -1,0 +1,64 @@
+// Minimal command-line flag parsing for the pdtfe tool and examples.
+//
+// Supports `--key value` and `--key=value` pairs after a positional
+// subcommand; typed accessors with defaults; unknown-flag detection.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+class CliArgs {
+ public:
+  /// Parse argv after `first` (typically 2: skip program + subcommand).
+  CliArgs(int argc, char** argv, int first = 2) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      DTFE_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else {
+        DTFE_CHECK_MSG(i + 1 < argc, "missing value for --" << arg);
+        values_[arg] = argv[++i];
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  long get(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  /// Throws if any flag outside `known` was provided (typo guard).
+  void check_known(const std::vector<std::string>& known) const {
+    for (const auto& [k, v] : values_) {
+      bool ok = false;
+      for (const auto& name : known)
+        if (k == name) ok = true;
+      DTFE_CHECK_MSG(ok, "unknown flag --" << k);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dtfe

@@ -1,0 +1,44 @@
+// Minimal CSV writer for benchmark output series.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+/// Row-oriented CSV writer. Opens the file eagerly; throws dtfe::Error if the
+/// path is unwritable.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    DTFE_CHECK_MSG(out_.good(), "cannot open " << path);
+  }
+
+  void header(std::initializer_list<std::string> cols) { write_row(cols); }
+
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    bool first = true;
+    ((out_ << (first ? "" : ","), first = false, out_ << vals), ...);
+    out_ << '\n';
+  }
+
+ private:
+  void write_row(std::initializer_list<std::string> cols) {
+    bool first = true;
+    for (const auto& c : cols) {
+      if (!first) out_ << ',';
+      first = false;
+      out_ << c;
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace dtfe

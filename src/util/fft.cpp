@@ -1,0 +1,73 @@
+#include "util/fft.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+void fft_1d(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  DTFE_CHECK_MSG(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+ComplexGrid3D::ComplexGrid3D(std::size_t n) : n_(n), data_(n * n * n) {
+  DTFE_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                 "ComplexGrid3D size must be a power of 2");
+}
+
+void ComplexGrid3D::transform(bool inverse) {
+  std::vector<std::complex<double>> scratch(n_);
+
+  // Along x: contiguous rows.
+  for (std::size_t iz = 0; iz < n_; ++iz)
+    for (std::size_t iy = 0; iy < n_; ++iy)
+      fft_1d(std::span(&at(0, iy, iz), n_), inverse);
+
+  // Along y: stride n_.
+  for (std::size_t iz = 0; iz < n_; ++iz)
+    for (std::size_t ix = 0; ix < n_; ++ix) {
+      for (std::size_t iy = 0; iy < n_; ++iy) scratch[iy] = at(ix, iy, iz);
+      fft_1d(scratch, inverse);
+      for (std::size_t iy = 0; iy < n_; ++iy) at(ix, iy, iz) = scratch[iy];
+    }
+
+  // Along z: stride n_^2.
+  for (std::size_t iy = 0; iy < n_; ++iy)
+    for (std::size_t ix = 0; ix < n_; ++ix) {
+      for (std::size_t iz = 0; iz < n_; ++iz) scratch[iz] = at(ix, iy, iz);
+      fft_1d(scratch, inverse);
+      for (std::size_t iz = 0; iz < n_; ++iz) at(ix, iy, iz) = scratch[iz];
+    }
+}
+
+}  // namespace dtfe

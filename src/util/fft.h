@@ -1,0 +1,46 @@
+// Minimal power-of-two complex FFT with a 3D wrapper.
+//
+// The Zel'dovich initial-condition generator (src/nbody) needs an inverse 3D
+// Fourier transform to turn a k-space Gaussian random field into real-space
+// displacements. Nothing here is performance critical — the generator runs
+// once per experiment at modest grid sizes — so a straightforward iterative
+// radix-2 Cooley–Tukey implementation is used.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dtfe {
+
+/// In-place radix-2 FFT. `data.size()` must be a power of two.
+/// `inverse` applies the conjugate transform *and* the 1/N normalization.
+void fft_1d(std::span<std::complex<double>> data, bool inverse);
+
+/// Dense 3D complex grid with FFT support. Index order: (x fastest) —
+/// value(ix, iy, iz) at flat index ix + n*(iy + n*iz).
+class ComplexGrid3D {
+ public:
+  explicit ComplexGrid3D(std::size_t n);
+
+  std::size_t n() const { return n_; }
+  std::complex<double>& at(std::size_t ix, std::size_t iy, std::size_t iz) {
+    return data_[ix + n_ * (iy + n_ * iz)];
+  }
+  const std::complex<double>& at(std::size_t ix, std::size_t iy,
+                                 std::size_t iz) const {
+    return data_[ix + n_ * (iy + n_ * iz)];
+  }
+  std::span<std::complex<double>> flat() { return data_; }
+  std::span<const std::complex<double>> flat() const { return data_; }
+
+  /// In-place 3D FFT along all three axes.
+  void transform(bool inverse);
+
+ private:
+  std::size_t n_;
+  std::vector<std::complex<double>> data_;
+};
+
+}  // namespace dtfe

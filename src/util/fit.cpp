@@ -1,0 +1,113 @@
+#include "util/fit.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+double fit_proportional(std::span<const double> x, std::span<const double> t) {
+  DTFE_CHECK(x.size() == t.size());
+  double xtx = 0.0, xtt = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xtx += x[i] * x[i];
+    xtt += x[i] * t[i];
+  }
+  return xtx > 0.0 ? xtt / xtx : 0.0;
+}
+
+double fit_nlogn(std::span<const double> n, std::span<const double> t) {
+  DTFE_CHECK(n.size() == t.size());
+  std::vector<double> basis, obs;
+  basis.reserve(n.size());
+  obs.reserve(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    if (n[i] >= 2.0) {
+      basis.push_back(n[i] * std::log2(n[i]));
+      obs.push_back(t[i]);
+    }
+  }
+  return fit_proportional(basis, obs);
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  DTFE_CHECK(x.size() == y.size());
+  const auto n = static_cast<double>(x.size());
+  if (x.empty()) return {};
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300) return {.intercept = sy / n, .slope = 0.0};
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+PowerLawFit fit_power_law(std::span<const double> n, std::span<const double> t,
+                          int max_iterations, double tolerance) {
+  DTFE_CHECK(n.size() == t.size());
+  PowerLawFit fit;
+
+  // Initial guess: log t = log α + β log n on the strictly positive samples.
+  std::vector<double> ln, lt;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    if (n[i] > 0.0 && t[i] > 0.0) {
+      ln.push_back(std::log(n[i]));
+      lt.push_back(std::log(t[i]));
+    }
+  }
+  if (ln.size() < 2) return fit;
+  const LinearFit lin = fit_linear(ln, lt);
+  double alpha = std::exp(lin.intercept);
+  double beta = lin.slope;
+
+  // Gauss–Newton on r_i = t_i − α·n_i^β with Jacobian columns
+  // ∂/∂α = n^β, ∂/∂β = α·n^β·ln n. Normal equations are 2×2.
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double j11 = 0, j12 = 0, j22 = 0, g1 = 0, g2 = 0;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      if (n[i] <= 0.0) continue;
+      const double nb = std::pow(n[i], beta);
+      const double model = alpha * nb;
+      const double r = t[i] - model;
+      const double da = nb;
+      const double db = model * std::log(n[i]);
+      j11 += da * da;
+      j12 += da * db;
+      j22 += db * db;
+      g1 += da * r;
+      g2 += db * r;
+    }
+    const double det = j11 * j22 - j12 * j12;
+    fit.iterations = iter + 1;
+    if (std::abs(det) < 1e-300) break;
+    const double d_alpha = (j22 * g1 - j12 * g2) / det;
+    const double d_beta = (-j12 * g1 + j11 * g2) / det;
+    alpha += d_alpha;
+    beta += d_beta;
+    if (!(std::isfinite(alpha) && std::isfinite(beta))) {
+      // Diverged — fall back to the log-linear estimate.
+      alpha = std::exp(lin.intercept);
+      beta = lin.slope;
+      break;
+    }
+    if (std::abs(d_alpha) <= tolerance * std::abs(alpha) + tolerance &&
+        std::abs(d_beta) <= tolerance * std::abs(beta) + tolerance) {
+      fit.converged = true;
+      break;
+    }
+  }
+  fit.alpha = alpha;
+  fit.beta = beta;
+  return fit;
+}
+
+}  // namespace dtfe

@@ -1,0 +1,43 @@
+// Model fitting used by the workload-modeling phase (paper §IV-C).
+//
+// Two models are fit at runtime from (n_i, t_i) samples gathered via
+// Allgather:
+//   triangulation:  f_tri(n)    = c · n · log2(n)        (OLS, Eq. 15/16)
+//   interpolation:  f_interp(n) = α · n^β                (Gauss–Newton, Eq. 17)
+#pragma once
+
+#include <span>
+
+namespace dtfe {
+
+/// One-parameter proportional fit t ≈ c · x by ordinary least squares:
+/// c = (ΣxΣt form of (XᵀX)⁻¹Xᵀt for a single column). Returns 0 for
+/// degenerate input (all x == 0 or empty).
+double fit_proportional(std::span<const double> x, std::span<const double> t);
+
+/// Triangulation cost model f(n) = c · n·log2(n). Returns the fitted c.
+/// Samples with n < 2 are ignored (log2 undefined / irrelevant).
+double fit_nlogn(std::span<const double> n, std::span<const double> t);
+
+/// Power-law fit t ≈ α·n^β.
+struct PowerLawFit {
+  double alpha = 0.0;
+  double beta = 0.0;
+  int iterations = 0;   ///< Gauss–Newton iterations actually performed.
+  bool converged = false;
+};
+
+/// Fits α·n^β with Gauss–Newton; the initial guess comes from an OLS fit of
+/// log t against log n (as the paper prescribes). Samples with n <= 0 or
+/// t <= 0 are ignored for the initial guess but used by the refinement.
+PowerLawFit fit_power_law(std::span<const double> n, std::span<const double> t,
+                          int max_iterations = 50, double tolerance = 1e-10);
+
+/// Simple linear regression y ≈ a + b·x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace dtfe

@@ -1,0 +1,122 @@
+#include "util/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+GridIndex::GridIndex(std::span<const Vec3> points, Vec3 origin, double extent,
+                     std::size_t cells_per_dim, bool periodic)
+    : points_(points),
+      origin_(origin),
+      extent_(extent),
+      inv_cell_(static_cast<double>(cells_per_dim) / extent),
+      cells_(cells_per_dim),
+      periodic_(periodic) {
+  DTFE_CHECK(extent > 0.0);
+  DTFE_CHECK(cells_per_dim >= 1);
+  const std::size_t ncells = cells_ * cells_ * cells_;
+  std::vector<std::uint32_t> counts(ncells, 0);
+
+  auto cell_index = [&](const Vec3& p) {
+    auto coord = [&](double v, double o) -> std::size_t {
+      auto c = static_cast<std::ptrdiff_t>((v - o) * inv_cell_);
+      c = std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(cells_) - 1);
+      return static_cast<std::size_t>(c);
+    };
+    return (coord(p.z, origin_.z) * cells_ + coord(p.y, origin_.y)) * cells_ +
+           coord(p.x, origin_.x);
+  };
+
+  for (const Vec3& p : points_) ++counts[cell_index(p)];
+
+  cell_start_.resize(ncells + 1);
+  cell_start_[0] = 0;
+  for (std::size_t c = 0; c < ncells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+
+  point_of_slot_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t c = cell_index(points_[i]);
+    point_of_slot_[cursor[c]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t GridIndex::cell_of(std::ptrdiff_t cx, std::ptrdiff_t cy,
+                               std::ptrdiff_t cz) const {
+  const auto n = static_cast<std::ptrdiff_t>(cells_);
+  if (periodic_) {
+    cx = ((cx % n) + n) % n;
+    cy = ((cy % n) + n) % n;
+    cz = ((cz % n) + n) % n;
+  }
+  return static_cast<std::size_t>((cz * n + cy) * n + cx);
+}
+
+template <typename Visit>
+void GridIndex::visit_cube(Vec3 center, double side, Visit&& visit) const {
+  const double h = side * 0.5;
+  const Vec3 lo{center.x - h, center.y - h, center.z - h};
+  const Vec3 hi{center.x + h, center.y + h, center.z + h};
+
+  auto lo_cell = [&](double v, double o) {
+    return static_cast<std::ptrdiff_t>(std::floor((v - o) * inv_cell_));
+  };
+  std::ptrdiff_t cx0 = lo_cell(lo.x, origin_.x), cx1 = lo_cell(hi.x, origin_.x);
+  std::ptrdiff_t cy0 = lo_cell(lo.y, origin_.y), cy1 = lo_cell(hi.y, origin_.y);
+  std::ptrdiff_t cz0 = lo_cell(lo.z, origin_.z), cz1 = lo_cell(hi.z, origin_.z);
+  const auto n = static_cast<std::ptrdiff_t>(cells_);
+  if (!periodic_) {
+    cx0 = std::clamp<std::ptrdiff_t>(cx0, 0, n - 1);
+    cy0 = std::clamp<std::ptrdiff_t>(cy0, 0, n - 1);
+    cz0 = std::clamp<std::ptrdiff_t>(cz0, 0, n - 1);
+    cx1 = std::clamp<std::ptrdiff_t>(cx1, 0, n - 1);
+    cy1 = std::clamp<std::ptrdiff_t>(cy1, 0, n - 1);
+    cz1 = std::clamp<std::ptrdiff_t>(cz1, 0, n - 1);
+  } else {
+    // Never visit a periodic image cell twice.
+    cx1 = std::min(cx1, cx0 + n - 1);
+    cy1 = std::min(cy1, cy0 + n - 1);
+    cz1 = std::min(cz1, cz0 + n - 1);
+  }
+
+  auto inside = [&](const Vec3& p) {
+    if (!periodic_) {
+      return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+             p.z >= lo.z && p.z <= hi.z;
+    }
+    auto wrapped_near = [&](double v, double c) {
+      double d = v - c;
+      d -= extent_ * std::round(d / extent_);
+      return std::abs(d) <= h;
+    };
+    return wrapped_near(p.x, center.x) && wrapped_near(p.y, center.y) &&
+           wrapped_near(p.z, center.z);
+  };
+
+  for (std::ptrdiff_t cz = cz0; cz <= cz1; ++cz)
+    for (std::ptrdiff_t cy = cy0; cy <= cy1; ++cy)
+      for (std::ptrdiff_t cx = cx0; cx <= cx1; ++cx) {
+        const std::size_t c = cell_of(cx, cy, cz);
+        for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+          const std::uint32_t idx = point_of_slot_[s];
+          if (inside(points_[idx])) visit(idx);
+        }
+      }
+}
+
+std::size_t GridIndex::count_in_cube(Vec3 center, double side) const {
+  std::size_t count = 0;
+  visit_cube(center, side, [&](std::uint32_t) { ++count; });
+  return count;
+}
+
+void GridIndex::gather_in_cube(Vec3 center, double side,
+                               std::vector<std::uint32_t>& out) const {
+  visit_cube(center, side, [&](std::uint32_t i) { out.push_back(i); });
+}
+
+}  // namespace dtfe

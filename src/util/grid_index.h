@@ -1,0 +1,58 @@
+// Uniform spatial grid over a point set.
+//
+// Used by the workload-modeling phase to count the particles inside the
+// cube of each requested field (paper §IV-C step 1) and by the framework to
+// gather the particles a work item actually needs. Supports optional periodic
+// wrapping, since cosmological boxes are periodic.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec3.h"
+
+namespace dtfe {
+
+class GridIndex {
+ public:
+  /// Build an index of `points` over the axis-aligned box [origin,
+  /// origin+extent]^3 with `cells_per_dim`^3 cells. Points outside the box are
+  /// clamped into the boundary cells.
+  GridIndex(std::span<const Vec3> points, Vec3 origin, double extent,
+            std::size_t cells_per_dim, bool periodic = false);
+
+  /// Number of indexed points inside the axis-aligned cube centered at
+  /// `center` with side length `side`. Exact (per-point test at the borders).
+  std::size_t count_in_cube(Vec3 center, double side) const;
+
+  /// Append the indices of points inside the cube to `out`.
+  void gather_in_cube(Vec3 center, double side,
+                      std::vector<std::uint32_t>& out) const;
+
+  std::size_t size() const { return point_of_slot_.size(); }
+  std::size_t cells_per_dim() const { return cells_; }
+
+ private:
+  struct CellRange {
+    std::uint32_t begin, end;
+  };
+
+  std::size_t cell_of(std::ptrdiff_t cx, std::ptrdiff_t cy,
+                      std::ptrdiff_t cz) const;
+  template <typename Visit>
+  void visit_cube(Vec3 center, double side, Visit&& visit) const;
+
+  std::span<const Vec3> points_;
+  Vec3 origin_;
+  double extent_;
+  double inv_cell_;
+  std::size_t cells_;
+  bool periodic_;
+  std::vector<std::uint32_t> cell_start_;    // CSR offsets, cells_^3 + 1
+  std::vector<std::uint32_t> point_of_slot_; // permutation of point indices
+};
+
+}  // namespace dtfe

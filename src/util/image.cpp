@@ -1,0 +1,82 @@
+#include "util/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+namespace {
+
+std::uint8_t to_byte(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return static_cast<std::uint8_t>(t * 255.0 + 0.5);
+}
+
+void write_pnm(const std::string& path, const char* magic,
+               std::span<const std::uint8_t> bytes, std::size_t width,
+               std::size_t height) {
+  std::ofstream out(path, std::ios::binary);
+  DTFE_CHECK_MSG(out.good(), "cannot open " << path);
+  out << magic << '\n' << width << ' ' << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  DTFE_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, std::span<const double> values,
+               std::size_t width, std::size_t height, double vmin,
+               double vmax) {
+  DTFE_CHECK(values.size() == width * height);
+  const double span = vmax > vmin ? vmax - vmin : 1.0;
+  std::vector<std::uint8_t> bytes(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    bytes[i] = to_byte((values[i] - vmin) / span);
+  write_pnm(path, "P5", bytes, width, height);
+}
+
+void write_log_pgm(const std::string& path, std::span<const double> values,
+                   std::size_t width, std::size_t height, double floor_value) {
+  DTFE_CHECK(values.size() == width * height);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::vector<double> logs(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    logs[i] = std::log10(std::max(values[i], floor_value));
+    lo = std::min(lo, logs[i]);
+    hi = std::max(hi, logs[i]);
+  }
+  write_pgm(path, logs, width, height, lo, hi);
+}
+
+void write_diverging_ppm(const std::string& path,
+                         std::span<const double> values, std::size_t width,
+                         std::size_t height, double range) {
+  DTFE_CHECK(values.size() == width * height);
+  DTFE_CHECK(range > 0.0);
+  std::vector<std::uint8_t> bytes(values.size() * 3);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double t = std::clamp(values[i] / range, -1.0, 1.0);
+    double r = 1.0, g = 1.0, b = 1.0;
+    if (t < 0.0) {            // toward blue
+      r = 1.0 + t;
+      g = 1.0 + t;
+    } else if (t > 0.0) {     // toward red
+      g = 1.0 - t;
+      b = 1.0 - t;
+    }
+    bytes[3 * i + 0] = to_byte(r);
+    bytes[3 * i + 1] = to_byte(g);
+    bytes[3 * i + 2] = to_byte(b);
+  }
+  write_pnm(path, "P6", bytes, width, height);
+}
+
+}  // namespace dtfe

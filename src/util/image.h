@@ -1,0 +1,27 @@
+// PGM/PPM image output for rendered density fields (paper Figs. 1 and 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace dtfe {
+
+/// Write a grayscale binary PGM. `values` is row-major, width*height doubles,
+/// linearly mapped from [vmin, vmax] to [0, 255] (clamped).
+void write_pgm(const std::string& path, std::span<const double> values,
+               std::size_t width, std::size_t height, double vmin, double vmax);
+
+/// Write values through log10 with a floor, auto-ranged — the rendering the
+/// paper uses for density maps ("log10" color scales in Figs. 1/8).
+void write_log_pgm(const std::string& path, std::span<const double> values,
+                   std::size_t width, std::size_t height,
+                   double floor_value = 1e-12);
+
+/// Diverging blue–white–red PPM for ratio maps (paper Fig. 8c):
+/// value 0 → white, -range → blue, +range → red.
+void write_diverging_ppm(const std::string& path,
+                         std::span<const double> values, std::size_t width,
+                         std::size_t height, double range);
+
+}  // namespace dtfe

@@ -1,0 +1,35 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace dtfe {
+
+std::string Histogram::render(int bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const int len = static_cast<int>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * bar_width);
+    std::snprintf(line, sizeof line, "%+9.3f | %8zu | ", bin_center(b), counts_[b]);
+    out += line;
+    out.append(static_cast<std::size_t>(len), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double mean_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+}  // namespace dtfe

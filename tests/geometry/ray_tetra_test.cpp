@@ -1,0 +1,146 @@
+#include "geometry/ray_tetra.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/predicates.h"
+#include "geometry/tetra_math.h"
+#include "util/rng.h"
+
+namespace dtfe {
+namespace {
+
+// Unit tetra, positively oriented.
+const std::array<Vec3, 4> kTet = {Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0},
+                                  Vec3{0, 0, 1}};
+
+LineTetraHit vertical_hit(double x, double y, const std::array<Vec3, 4>& tet) {
+  const Vec3 origin{x, y, 0.0};
+  const Vec3 dir{0, 0, 1};
+  return line_tetra_plucker(PluckerLine::from_point_dir(origin, dir), origin,
+                            dir, tet);
+}
+
+TEST(FaceTables, OutwardOrientation) {
+  // kTetraFace[i] must wind CCW from outside: the opposite vertex is on the
+  // negative side.
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_LT(orient3d(kTet[kTetraFace[f][0]], kTet[kTetraFace[f][1]],
+                       kTet[kTetraFace[f][2]], kTet[f]),
+              0.0)
+        << "face " << f;
+  }
+}
+
+TEST(LineTetraPlucker, VerticalThroughInterior) {
+  const auto hit = vertical_hit(0.2, 0.2, kTet);
+  ASSERT_TRUE(hit.intersects);
+  EXPECT_FALSE(hit.degenerate);
+  // Enters the bottom face z=0 at t=0, exits the slanted face x+y+z=1.
+  EXPECT_NEAR(hit.t_enter, 0.0, 1e-12);
+  EXPECT_NEAR(hit.t_exit, 0.6, 1e-12);
+  EXPECT_NEAR(hit.enter_point.z, 0.0, 1e-12);
+  EXPECT_NEAR(hit.exit_point.z, 0.6, 1e-12);
+  EXPECT_NEAR(hit.exit_point.x, 0.2, 1e-12);
+  EXPECT_NEAR(hit.exit_point.y, 0.2, 1e-12);
+  // Bottom face (z=0) is opposite vertex 3; slanted face opposite vertex 0.
+  EXPECT_EQ(hit.enter_face, 3);
+  EXPECT_EQ(hit.exit_face, 0);
+}
+
+TEST(LineTetraPlucker, MissesOutside) {
+  const auto hit = vertical_hit(0.8, 0.8, kTet);
+  EXPECT_FALSE(hit.intersects);
+  EXPECT_FALSE(hit.degenerate);
+}
+
+TEST(LineTetraPlucker, ThroughVertexIsDegenerate) {
+  const auto hit = vertical_hit(0.0, 0.0, kTet);
+  EXPECT_TRUE(hit.degenerate);
+}
+
+TEST(LineTetraPlucker, ThroughEdgeIsDegenerate) {
+  // The vertical line at (0.5, 0) passes through the edge (v0=origin, v1=x̂).
+  const auto hit = vertical_hit(0.5, 0.0, kTet);
+  EXPECT_TRUE(hit.degenerate);
+}
+
+TEST(LineTetraPlucker, ArbitraryDirection) {
+  const Vec3 origin{-1.0, 0.2, 0.2};
+  const Vec3 dir{1.0, 0.0, 0.0};
+  const auto hit = line_tetra_plucker(
+      PluckerLine::from_point_dir(origin, dir), origin, dir, kTet);
+  ASSERT_TRUE(hit.intersects);
+  EXPECT_NEAR(hit.t_enter, 1.0, 1e-12);           // x=0 face
+  EXPECT_NEAR(hit.t_exit, 1.6, 1e-12);            // x+y+z=1 → x=0.6
+  EXPECT_NEAR(hit.enter_point.x, 0.0, 1e-12);
+  EXPECT_NEAR(hit.exit_point.x, 0.6, 1e-12);
+}
+
+TEST(LineTetraPlucker, AgreesWithMollerOnRandomLines) {
+  Rng rng(17);
+  int both_hit = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    const Vec3 origin{rng.uniform(-0.5, 1.5), rng.uniform(-0.5, 1.5),
+                      rng.uniform(-0.5, 1.5)};
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    if (dir.norm() < 1e-3) continue;
+    const auto hp = line_tetra_plucker(
+        PluckerLine::from_point_dir(origin, dir), origin, dir, kTet);
+    const auto hm = line_tetra_moller(origin, dir, kTet);
+    if (hp.degenerate || hm.degenerate) continue;
+    EXPECT_EQ(hp.intersects, hm.intersects) << "iter " << iter;
+    if (hp.intersects && hm.intersects) {
+      ++both_hit;
+      EXPECT_NEAR(hp.t_enter, hm.t_enter, 1e-9);
+      EXPECT_NEAR(hp.t_exit, hm.t_exit, 1e-9);
+      EXPECT_EQ(hp.enter_face, hm.enter_face);
+      EXPECT_EQ(hp.exit_face, hm.exit_face);
+    }
+  }
+  EXPECT_GT(both_hit, 200);
+}
+
+TEST(LineTetraPlucker, IntervalLengthMatchesGeometry) {
+  // For vertical lines, (t_exit − t_enter) is the chord length through the
+  // tetra; integrate column area: ∑ chord·dA over a grid ≈ volume.
+  Rng rng(23);
+  // random positively oriented tetra
+  std::array<Vec3, 4> tet;
+  do {
+    for (auto& p : tet)
+      p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  } while (orient3d(tet[0], tet[1], tet[2], tet[3]) <= 1e-3);
+
+  const int n = 200;
+  const double cell = 1.0 / n;
+  double vol = 0.0;
+  int degenerate = 0;
+  for (int iy = 0; iy < n; ++iy)
+    for (int ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) * cell;
+      const double y = (iy + 0.5) * cell;
+      const auto hit = vertical_hit(x, y, tet);
+      if (hit.degenerate) {
+        ++degenerate;
+        continue;
+      }
+      if (hit.intersects) vol += (hit.t_exit - hit.t_enter) * cell * cell;
+    }
+  const double expect = tetra_volume(tet[0], tet[1], tet[2], tet[3]);
+  EXPECT_LT(degenerate, 10);
+  EXPECT_NEAR(vol, expect, 0.05 * expect + 1e-4);
+}
+
+TEST(MollerTrumbore, TriangleBasics) {
+  double t, u, w;
+  EXPECT_TRUE(line_triangle_moller({0.2, 0.2, -1}, {0, 0, 1}, kTet[0], kTet[1],
+                                   kTet[2], t, u, w));
+  EXPECT_NEAR(t, 1.0, 1e-12);
+  EXPECT_FALSE(line_triangle_moller({2, 2, -1}, {0, 0, 1}, kTet[0], kTet[1],
+                                    kTet[2], t, u, w));
+}
+
+}  // namespace
+}  // namespace dtfe

@@ -1,0 +1,168 @@
+#include "simmpi/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dtfe::simmpi {
+namespace {
+
+TEST(SimMpi, PingPong) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 7, 42);
+      EXPECT_EQ(c.recv_value<int>(1, 8), 43);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 7), 42);
+      c.send_value(0, 8, 43);
+    }
+  });
+}
+
+TEST(SimMpi, FifoPerPairAndTagMatching) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 10);
+      c.send_value(1, 2, 20);
+      c.send_value(1, 1, 11);
+    } else {
+      // Receive tag 2 first even though it was sent second; tag-1 messages
+      // then arrive in FIFO order.
+      EXPECT_EQ(c.recv_value<int>(0, 2), 20);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 10);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 11);
+    }
+  });
+}
+
+TEST(SimMpi, AnySource) {
+  run(4, [](Comm& c) {
+    if (c.rank() == 0) {
+      int seen = 0;
+      for (int i = 1; i < 4; ++i) {
+        int src = -1;
+        const int v = c.recv_value<int>(kAnySource, 5, &src);
+        EXPECT_EQ(v, src * 100);
+        seen |= 1 << src;
+      }
+      EXPECT_EQ(seen, 0b1110);
+    } else {
+      c.send_value(0, 5, c.rank() * 100);
+    }
+  });
+}
+
+TEST(SimMpi, VectorPayloads) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v(1000);
+      std::iota(v.begin(), v.end(), 0.0);
+      c.send_vector<double>(1, 3, v);
+    } else {
+      const auto v = c.recv_vector<double>(0, 3);
+      ASSERT_EQ(v.size(), 1000u);
+      EXPECT_DOUBLE_EQ(v[999], 999.0);
+    }
+  });
+}
+
+TEST(SimMpi, BarrierOrdersPhases) {
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  run(8, [&](Comm& c) {
+    ++phase_one;
+    c.barrier();
+    if (phase_one.load() != 8) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(SimMpi, Bcast) {
+  run(5, [](Comm& c) {
+    std::vector<std::byte> data;
+    if (c.rank() == 2) {
+      data = {std::byte{1}, std::byte{2}, std::byte{3}};
+    }
+    c.bcast_bytes(data, 2);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(data[2], std::byte{3});
+  });
+}
+
+TEST(SimMpi, Allgather) {
+  run(6, [](Comm& c) {
+    const auto all = c.allgather(c.rank() * 2);
+    ASSERT_EQ(all.size(), 6u);
+    for (int r = 0; r < 6; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 2);
+  });
+}
+
+TEST(SimMpi, AllgathervVariableSizes) {
+  run(4, [](Comm& c) {
+    std::vector<int> mine(static_cast<std::size_t>(c.rank() + 1), c.rank());
+    const auto all = c.allgatherv<int>(mine);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      EXPECT_EQ(all[static_cast<std::size_t>(r)][0], r);
+    }
+  });
+}
+
+TEST(SimMpi, Reductions) {
+  run(7, [](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.5), 10.5);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank())), 6.0);
+  });
+}
+
+TEST(SimMpi, RepeatedCollectivesDoNotCrosstalk) {
+  run(3, [](Comm& c) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const auto all = c.allgather(iter * 10 + c.rank());
+      for (int r = 0; r < 3; ++r)
+        ASSERT_EQ(all[static_cast<std::size_t>(r)], iter * 10 + r);
+      c.barrier();
+    }
+  });
+}
+
+TEST(SimMpi, ExceptionPropagates) {
+  EXPECT_THROW(run(3,
+                   [](Comm& c) {
+                     if (c.rank() == 1) throw Error("rank 1 exploded");
+                     // other ranks finish normally
+                   }),
+               Error);
+}
+
+TEST(SimMpi, IprobeSeesPending) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 9, 1);
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_TRUE(c.iprobe(0, 9));
+      EXPECT_FALSE(c.iprobe(0, 10));
+      (void)c.recv_value<int>(0, 9);
+    }
+  });
+}
+
+TEST(SimMpi, ManyRanksStress) {
+  // 64 oversubscribed ranks exchanging in a ring.
+  run(64, [](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    c.send_value(next, 1, c.rank());
+    EXPECT_EQ(c.recv_value<int>(prev, 1), prev);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 64.0);
+  });
+}
+
+}  // namespace
+}  // namespace dtfe::simmpi
