@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe.dir/pdtfe_main.cpp.o"
+  "CMakeFiles/pdtfe.dir/pdtfe_main.cpp.o.d"
+  "pdtfe"
+  "pdtfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

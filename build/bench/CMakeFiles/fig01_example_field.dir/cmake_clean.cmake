@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_example_field.dir/fig01_example_field.cpp.o"
+  "CMakeFiles/fig01_example_field.dir/fig01_example_field.cpp.o.d"
+  "fig01_example_field"
+  "fig01_example_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_example_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_estimator_agreement.dir/fig08_estimator_agreement.cpp.o"
+  "CMakeFiles/fig08_estimator_agreement.dir/fig08_estimator_agreement.cpp.o.d"
+  "fig08_estimator_agreement"
+  "fig08_estimator_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_estimator_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

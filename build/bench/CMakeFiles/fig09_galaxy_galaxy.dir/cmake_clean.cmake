@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_galaxy_galaxy.dir/fig09_galaxy_galaxy.cpp.o"
+  "CMakeFiles/fig09_galaxy_galaxy.dir/fig09_galaxy_galaxy.cpp.o.d"
+  "fig09_galaxy_galaxy"
+  "fig09_galaxy_galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_galaxy_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

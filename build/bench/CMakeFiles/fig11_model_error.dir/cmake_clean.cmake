@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_model_error.dir/fig11_model_error.cpp.o"
+  "CMakeFiles/fig11_model_error.dir/fig11_model_error.cpp.o.d"
+  "fig11_model_error"
+  "fig11_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_multiplane.dir/fig12_multiplane.cpp.o"
+  "CMakeFiles/fig12_multiplane.dir/fig12_multiplane.cpp.o.d"
+  "fig12_multiplane"
+  "fig12_multiplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multiplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

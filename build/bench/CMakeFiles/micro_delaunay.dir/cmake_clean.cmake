@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_delaunay.dir/micro_delaunay.cpp.o"
+  "CMakeFiles/micro_delaunay.dir/micro_delaunay.cpp.o.d"
+  "micro_delaunay"
+  "micro_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_estimators.dir/compare_estimators.cpp.o"
+  "CMakeFiles/compare_estimators.dir/compare_estimators.cpp.o.d"
+  "compare_estimators"
+  "compare_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

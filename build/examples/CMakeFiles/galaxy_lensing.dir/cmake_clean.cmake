@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_lensing.dir/galaxy_lensing.cpp.o"
+  "CMakeFiles/galaxy_lensing.dir/galaxy_lensing.cpp.o.d"
+  "galaxy_lensing"
+  "galaxy_lensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_lensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lensing_pipeline.dir/lensing_pipeline.cpp.o"
+  "CMakeFiles/lensing_pipeline.dir/lensing_pipeline.cpp.o.d"
+  "lensing_pipeline"
+  "lensing_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lensing_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

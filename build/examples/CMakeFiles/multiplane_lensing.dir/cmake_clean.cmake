@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplane_lensing.dir/multiplane_lensing.cpp.o"
+  "CMakeFiles/multiplane_lensing.dir/multiplane_lensing.cpp.o.d"
+  "multiplane_lensing"
+  "multiplane_lensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplane_lensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projected_views.dir/projected_views.cpp.o"
+  "CMakeFiles/projected_views.dir/projected_views.cpp.o.d"
+  "projected_views"
+  "projected_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projected_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

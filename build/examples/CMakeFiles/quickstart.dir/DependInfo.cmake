@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdtfe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/pdtfe_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtfe/CMakeFiles/pdtfe_dtfe.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaunay/CMakeFiles/pdtfe_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/pdtfe_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/pdtfe_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdtfe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/pdtfe_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_core.dir/reconstructor.cpp.o"
+  "CMakeFiles/pdtfe_core.dir/reconstructor.cpp.o.d"
+  "libpdtfe_core.a"
+  "libpdtfe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delaunay/hull_projection.cpp" "src/delaunay/CMakeFiles/pdtfe_delaunay.dir/hull_projection.cpp.o" "gcc" "src/delaunay/CMakeFiles/pdtfe_delaunay.dir/hull_projection.cpp.o.d"
+  "/root/repo/src/delaunay/triangulation.cpp" "src/delaunay/CMakeFiles/pdtfe_delaunay.dir/triangulation.cpp.o" "gcc" "src/delaunay/CMakeFiles/pdtfe_delaunay.dir/triangulation.cpp.o.d"
+  "/root/repo/src/delaunay/voronoi.cpp" "src/delaunay/CMakeFiles/pdtfe_delaunay.dir/voronoi.cpp.o" "gcc" "src/delaunay/CMakeFiles/pdtfe_delaunay.dir/voronoi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/pdtfe_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdtfe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_delaunay.dir/hull_projection.cpp.o"
+  "CMakeFiles/pdtfe_delaunay.dir/hull_projection.cpp.o.d"
+  "CMakeFiles/pdtfe_delaunay.dir/triangulation.cpp.o"
+  "CMakeFiles/pdtfe_delaunay.dir/triangulation.cpp.o.d"
+  "CMakeFiles/pdtfe_delaunay.dir/voronoi.cpp.o"
+  "CMakeFiles/pdtfe_delaunay.dir/voronoi.cpp.o.d"
+  "libpdtfe_delaunay.a"
+  "libpdtfe_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

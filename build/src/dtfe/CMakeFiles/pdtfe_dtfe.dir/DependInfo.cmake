@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtfe/density.cpp" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/density.cpp.o" "gcc" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/density.cpp.o.d"
+  "/root/repo/src/dtfe/lensing.cpp" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/lensing.cpp.o" "gcc" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/lensing.cpp.o.d"
+  "/root/repo/src/dtfe/marching_kernel.cpp" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/marching_kernel.cpp.o" "gcc" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/marching_kernel.cpp.o.d"
+  "/root/repo/src/dtfe/tess_kernel.cpp" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/tess_kernel.cpp.o" "gcc" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/tess_kernel.cpp.o.d"
+  "/root/repo/src/dtfe/vector_field.cpp" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/vector_field.cpp.o" "gcc" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/vector_field.cpp.o.d"
+  "/root/repo/src/dtfe/walking_kernel.cpp" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/walking_kernel.cpp.o" "gcc" "src/dtfe/CMakeFiles/pdtfe_dtfe.dir/walking_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/delaunay/CMakeFiles/pdtfe_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/pdtfe_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdtfe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_dtfe.dir/density.cpp.o"
+  "CMakeFiles/pdtfe_dtfe.dir/density.cpp.o.d"
+  "CMakeFiles/pdtfe_dtfe.dir/lensing.cpp.o"
+  "CMakeFiles/pdtfe_dtfe.dir/lensing.cpp.o.d"
+  "CMakeFiles/pdtfe_dtfe.dir/marching_kernel.cpp.o"
+  "CMakeFiles/pdtfe_dtfe.dir/marching_kernel.cpp.o.d"
+  "CMakeFiles/pdtfe_dtfe.dir/tess_kernel.cpp.o"
+  "CMakeFiles/pdtfe_dtfe.dir/tess_kernel.cpp.o.d"
+  "CMakeFiles/pdtfe_dtfe.dir/vector_field.cpp.o"
+  "CMakeFiles/pdtfe_dtfe.dir/vector_field.cpp.o.d"
+  "CMakeFiles/pdtfe_dtfe.dir/walking_kernel.cpp.o"
+  "CMakeFiles/pdtfe_dtfe.dir/walking_kernel.cpp.o.d"
+  "libpdtfe_dtfe.a"
+  "libpdtfe_dtfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_dtfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

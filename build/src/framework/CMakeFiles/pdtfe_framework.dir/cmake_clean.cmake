@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_framework.dir/decomposition.cpp.o"
+  "CMakeFiles/pdtfe_framework.dir/decomposition.cpp.o.d"
+  "CMakeFiles/pdtfe_framework.dir/des.cpp.o"
+  "CMakeFiles/pdtfe_framework.dir/des.cpp.o.d"
+  "CMakeFiles/pdtfe_framework.dir/pipeline.cpp.o"
+  "CMakeFiles/pdtfe_framework.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pdtfe_framework.dir/schedule.cpp.o"
+  "CMakeFiles/pdtfe_framework.dir/schedule.cpp.o.d"
+  "CMakeFiles/pdtfe_framework.dir/workload_model.cpp.o"
+  "CMakeFiles/pdtfe_framework.dir/workload_model.cpp.o.d"
+  "libpdtfe_framework.a"
+  "libpdtfe_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

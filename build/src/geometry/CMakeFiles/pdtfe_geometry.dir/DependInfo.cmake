@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/expansion.cpp" "src/geometry/CMakeFiles/pdtfe_geometry.dir/expansion.cpp.o" "gcc" "src/geometry/CMakeFiles/pdtfe_geometry.dir/expansion.cpp.o.d"
+  "/root/repo/src/geometry/predicates.cpp" "src/geometry/CMakeFiles/pdtfe_geometry.dir/predicates.cpp.o" "gcc" "src/geometry/CMakeFiles/pdtfe_geometry.dir/predicates.cpp.o.d"
+  "/root/repo/src/geometry/ray_tetra.cpp" "src/geometry/CMakeFiles/pdtfe_geometry.dir/ray_tetra.cpp.o" "gcc" "src/geometry/CMakeFiles/pdtfe_geometry.dir/ray_tetra.cpp.o.d"
+  "/root/repo/src/geometry/tetra_math.cpp" "src/geometry/CMakeFiles/pdtfe_geometry.dir/tetra_math.cpp.o" "gcc" "src/geometry/CMakeFiles/pdtfe_geometry.dir/tetra_math.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

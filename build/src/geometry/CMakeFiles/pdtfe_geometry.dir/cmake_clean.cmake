@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_geometry.dir/expansion.cpp.o"
+  "CMakeFiles/pdtfe_geometry.dir/expansion.cpp.o.d"
+  "CMakeFiles/pdtfe_geometry.dir/predicates.cpp.o"
+  "CMakeFiles/pdtfe_geometry.dir/predicates.cpp.o.d"
+  "CMakeFiles/pdtfe_geometry.dir/ray_tetra.cpp.o"
+  "CMakeFiles/pdtfe_geometry.dir/ray_tetra.cpp.o.d"
+  "CMakeFiles/pdtfe_geometry.dir/tetra_math.cpp.o"
+  "CMakeFiles/pdtfe_geometry.dir/tetra_math.cpp.o.d"
+  "libpdtfe_geometry.a"
+  "libpdtfe_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

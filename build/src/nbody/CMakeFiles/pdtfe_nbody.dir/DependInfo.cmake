@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbody/field_statistics.cpp" "src/nbody/CMakeFiles/pdtfe_nbody.dir/field_statistics.cpp.o" "gcc" "src/nbody/CMakeFiles/pdtfe_nbody.dir/field_statistics.cpp.o.d"
+  "/root/repo/src/nbody/fof.cpp" "src/nbody/CMakeFiles/pdtfe_nbody.dir/fof.cpp.o" "gcc" "src/nbody/CMakeFiles/pdtfe_nbody.dir/fof.cpp.o.d"
+  "/root/repo/src/nbody/generators.cpp" "src/nbody/CMakeFiles/pdtfe_nbody.dir/generators.cpp.o" "gcc" "src/nbody/CMakeFiles/pdtfe_nbody.dir/generators.cpp.o.d"
+  "/root/repo/src/nbody/grid_assign.cpp" "src/nbody/CMakeFiles/pdtfe_nbody.dir/grid_assign.cpp.o" "gcc" "src/nbody/CMakeFiles/pdtfe_nbody.dir/grid_assign.cpp.o.d"
+  "/root/repo/src/nbody/particles.cpp" "src/nbody/CMakeFiles/pdtfe_nbody.dir/particles.cpp.o" "gcc" "src/nbody/CMakeFiles/pdtfe_nbody.dir/particles.cpp.o.d"
+  "/root/repo/src/nbody/snapshot_io.cpp" "src/nbody/CMakeFiles/pdtfe_nbody.dir/snapshot_io.cpp.o" "gcc" "src/nbody/CMakeFiles/pdtfe_nbody.dir/snapshot_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/pdtfe_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdtfe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

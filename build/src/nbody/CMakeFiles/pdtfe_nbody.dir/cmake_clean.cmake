@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_nbody.dir/field_statistics.cpp.o"
+  "CMakeFiles/pdtfe_nbody.dir/field_statistics.cpp.o.d"
+  "CMakeFiles/pdtfe_nbody.dir/fof.cpp.o"
+  "CMakeFiles/pdtfe_nbody.dir/fof.cpp.o.d"
+  "CMakeFiles/pdtfe_nbody.dir/generators.cpp.o"
+  "CMakeFiles/pdtfe_nbody.dir/generators.cpp.o.d"
+  "CMakeFiles/pdtfe_nbody.dir/grid_assign.cpp.o"
+  "CMakeFiles/pdtfe_nbody.dir/grid_assign.cpp.o.d"
+  "CMakeFiles/pdtfe_nbody.dir/particles.cpp.o"
+  "CMakeFiles/pdtfe_nbody.dir/particles.cpp.o.d"
+  "CMakeFiles/pdtfe_nbody.dir/snapshot_io.cpp.o"
+  "CMakeFiles/pdtfe_nbody.dir/snapshot_io.cpp.o.d"
+  "libpdtfe_nbody.a"
+  "libpdtfe_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/pdtfe_simmpi.dir/comm.cpp.o.d"
+  "libpdtfe_simmpi.a"
+  "libpdtfe_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/binpack.cpp" "src/util/CMakeFiles/pdtfe_util.dir/binpack.cpp.o" "gcc" "src/util/CMakeFiles/pdtfe_util.dir/binpack.cpp.o.d"
+  "/root/repo/src/util/fft.cpp" "src/util/CMakeFiles/pdtfe_util.dir/fft.cpp.o" "gcc" "src/util/CMakeFiles/pdtfe_util.dir/fft.cpp.o.d"
+  "/root/repo/src/util/fit.cpp" "src/util/CMakeFiles/pdtfe_util.dir/fit.cpp.o" "gcc" "src/util/CMakeFiles/pdtfe_util.dir/fit.cpp.o.d"
+  "/root/repo/src/util/grid_index.cpp" "src/util/CMakeFiles/pdtfe_util.dir/grid_index.cpp.o" "gcc" "src/util/CMakeFiles/pdtfe_util.dir/grid_index.cpp.o.d"
+  "/root/repo/src/util/image.cpp" "src/util/CMakeFiles/pdtfe_util.dir/image.cpp.o" "gcc" "src/util/CMakeFiles/pdtfe_util.dir/image.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/pdtfe_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/pdtfe_util.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/pdtfe_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdtfe_util.dir/binpack.cpp.o"
+  "CMakeFiles/pdtfe_util.dir/binpack.cpp.o.d"
+  "CMakeFiles/pdtfe_util.dir/fft.cpp.o"
+  "CMakeFiles/pdtfe_util.dir/fft.cpp.o.d"
+  "CMakeFiles/pdtfe_util.dir/fit.cpp.o"
+  "CMakeFiles/pdtfe_util.dir/fit.cpp.o.d"
+  "CMakeFiles/pdtfe_util.dir/grid_index.cpp.o"
+  "CMakeFiles/pdtfe_util.dir/grid_index.cpp.o.d"
+  "CMakeFiles/pdtfe_util.dir/image.cpp.o"
+  "CMakeFiles/pdtfe_util.dir/image.cpp.o.d"
+  "CMakeFiles/pdtfe_util.dir/stats.cpp.o"
+  "CMakeFiles/pdtfe_util.dir/stats.cpp.o.d"
+  "libpdtfe_util.a"
+  "libpdtfe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdtfe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lensing_test.dir/dtfe/lensing_test.cpp.o"
+  "CMakeFiles/lensing_test.dir/dtfe/lensing_test.cpp.o.d"
+  "lensing_test"
+  "lensing_test.pdb"
+  "lensing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lensing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_tetra_test.dir/geometry/ray_tetra_test.cpp.o"
+  "CMakeFiles/ray_tetra_test.dir/geometry/ray_tetra_test.cpp.o.d"
+  "ray_tetra_test"
+  "ray_tetra_test.pdb"
+  "ray_tetra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_tetra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangulation_test.dir/delaunay/triangulation_test.cpp.o"
+  "CMakeFiles/triangulation_test.dir/delaunay/triangulation_test.cpp.o.d"
+  "triangulation_test"
+  "triangulation_test.pdb"
+  "triangulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_field_test.dir/dtfe/vector_field_test.cpp.o"
+  "CMakeFiles/vector_field_test.dir/dtfe/vector_field_test.cpp.o.d"
+  "vector_field_test"
+  "vector_field_test.pdb"
+  "vector_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

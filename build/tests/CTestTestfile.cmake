@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/expansion_test[1]_include.cmake")
+include("/root/repo/build/tests/predicates_test[1]_include.cmake")
+include("/root/repo/build/tests/ray_tetra_test[1]_include.cmake")
+include("/root/repo/build/tests/triangulation_test[1]_include.cmake")
+include("/root/repo/build/tests/density_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/nbody_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/framework_test[1]_include.cmake")
+include("/root/repo/build/tests/voronoi_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fastpath_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/lensing_test[1]_include.cmake")
+include("/root/repo/build/tests/vector_field_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
