@@ -5,11 +5,19 @@
 //   pdtfe info     --in snap.bin
 //   pdtfe render   --in snap.bin --out map.pgm [--grid 512]
 //                  [--method march|walk|tess|cic] [--mc 1] [--adaptive 0]
+//                  [--metrics-out m.json] [--trace-out t.json]
 //   pdtfe pipeline --in snap.bin [--ranks 8] [--fields 64] [--length 5]
-//                  [--grid 64] [--balance 1]
+//                  [--grid 64] [--balance 1] [--metrics-out m.json]
+//                  [--trace-out t.json] [--report prefix]
 //   pdtfe lensing  --in snap.bin --out-prefix lens [--grid 256]
 //                  [--length 8] [--sigma-crit-frac 4]
 //   pdtfe spectrum --in snap.bin [--grid 64] [--bins 16]
+//
+// Observability (see README "Observability"): --metrics-out writes the merged
+// counter/gauge/histogram snapshot as JSON; --trace-out writes a Chrome
+// trace_event file loadable in chrome://tracing or Perfetto; --report writes
+// <prefix>.json and <prefix>.csv with per-rank phase times plus the metrics
+// snapshot. All default to off, leaving the hot paths unperturbed.
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -17,6 +25,9 @@
 
 #include "core/dtfe.h"
 #include "dtfe/lensing.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/image.h"
 #include "util/stats.h"
@@ -25,6 +36,51 @@
 namespace {
 
 using namespace dtfe;
+
+/// Shared --metrics-out/--trace-out/--report handling: arms the global
+/// registries before the work runs, exports the files afterwards.
+struct ObsSession {
+  std::string metrics_out, trace_out, report_prefix;
+
+  explicit ObsSession(const CliArgs& args)
+      : metrics_out(args.get("metrics-out", std::string{})),
+        trace_out(args.get("trace-out", std::string{})),
+        report_prefix(args.get("report", std::string{})) {
+    if (metrics_enabled()) {
+      obs::MetricsRegistry::global().reset();
+      obs::MetricsRegistry::global().set_enabled(true);
+    }
+    if (!trace_out.empty()) {
+      obs::TraceRecorder::global().clear();
+      obs::TraceRecorder::global().set_enabled(true);
+    }
+  }
+
+  bool metrics_enabled() const {
+    return !metrics_out.empty() || !report_prefix.empty();
+  }
+
+  /// Write --metrics-out and --trace-out (the report is the caller's job:
+  /// it needs the per-rank phase rows). Returns the merged snapshot.
+  obs::MetricsSnapshot finish() {
+    obs::MetricsSnapshot snap;
+    if (metrics_enabled()) snap = obs::MetricsRegistry::global().snapshot();
+    if (!metrics_out.empty()) {
+      if (obs::write_metrics_json(metrics_out, snap))
+        std::printf("wrote %s\n", metrics_out.c_str());
+      else
+        std::fprintf(stderr, "pdtfe: cannot write %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      if (obs::TraceRecorder::global().write_json(trace_out))
+        std::printf("wrote %s (%zu events)\n", trace_out.c_str(),
+                    obs::TraceRecorder::global().size());
+      else
+        std::fprintf(stderr, "pdtfe: cannot write %s\n", trace_out.c_str());
+    }
+    return snap;
+  }
+};
 
 int usage() {
   std::fprintf(stderr,
@@ -85,7 +141,10 @@ int cmd_info(const CliArgs& args) {
 }
 
 int cmd_render(const CliArgs& args) {
-  args.check_known({"in", "out", "grid", "method", "mc", "adaptive"});
+  args.check_known(
+      {"in", "out", "grid", "method", "mc", "adaptive", "metrics-out",
+       "trace-out"});
+  ObsSession obs_session(args);
   const ParticleSet set = read_snapshot(args.get("in", std::string{}));
   const auto ng = static_cast<std::size_t>(args.get("grid", 512L));
   const std::string method = args.get("method", std::string{"march"});
@@ -127,11 +186,14 @@ int cmd_render(const CliArgs& args) {
               set.total_mass());
   write_log_pgm(out, map.values(), ng, ng);
   std::printf("wrote %s\n", out.c_str());
+  obs_session.finish();
   return 0;
 }
 
 int cmd_pipeline(const CliArgs& args) {
-  args.check_known({"in", "ranks", "fields", "length", "grid", "balance"});
+  args.check_known({"in", "ranks", "fields", "length", "grid", "balance",
+                    "metrics-out", "trace-out", "report"});
+  ObsSession obs_session(args);
   const std::string path = args.get("in", std::string{});
   const int ranks = static_cast<int>(args.get("ranks", 8L));
   const auto n_fields = static_cast<std::size_t>(args.get("fields", 64L));
@@ -151,17 +213,45 @@ int cmd_pipeline(const CliArgs& args) {
 
   std::mutex mtx;
   RunningStats busy;
+  obs::RunReport report;
+  WallTimer wall;
   simmpi::run(ranks, [&](simmpi::Comm& comm) {
     const PipelineResult res =
         run_pipeline_from_snapshot(comm, path, centers, opt);
     std::lock_guard<std::mutex> lock(mtx);
     busy.add(res.phases.total());
+    report.add_rank_values(comm.rank(),
+                           {{"partition_s", res.phases.partition},
+                            {"model_s", res.phases.model},
+                            {"work_share_s", res.phases.work_share},
+                            {"triangulate_s", res.phases.triangulate},
+                            {"render_s", res.phases.render},
+                            {"total_s", res.phases.total()},
+                            {"local_items", static_cast<double>(res.local_items)},
+                            {"items_received",
+                             static_cast<double>(res.items_received)}});
     std::printf("rank %2d: %3zu local, %3zu received, busy %.2fs\n",
                 comm.rank(), res.local_items, res.items_received,
                 res.phases.total());
   });
   std::printf("busy: mean %.2fs max %.2fs (imbalance %.2f)\n", busy.mean(),
               busy.max(), busy.max() / std::max(busy.mean(), 1e-12));
+  const obs::MetricsSnapshot snap = obs_session.finish();
+  if (!obs_session.report_prefix.empty()) {
+    report.add_summary("ranks", ranks);
+    report.add_summary("fields", static_cast<double>(centers.size()));
+    report.add_summary("wall_s", wall.seconds());
+    report.add_summary("busy_mean_s", busy.mean());
+    report.add_summary("busy_max_s", busy.max());
+    report.set_metrics(snap);
+    const std::string jpath = obs_session.report_prefix + ".json";
+    const std::string cpath = obs_session.report_prefix + ".csv";
+    if (report.write_json(jpath) && report.write_csv(cpath))
+      std::printf("wrote %s %s\n", jpath.c_str(), cpath.c_str());
+    else
+      std::fprintf(stderr, "pdtfe: cannot write report %s/.csv\n",
+                   jpath.c_str());
+  }
   return 0;
 }
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Guard the observability layer's disabled-mode overhead budget.
+#
+#   scripts/check_obs_overhead.sh [build-dir] [max-overhead-pct]
+#
+# Runs bench/micro_obs and compares BM_WorkloadPlain against
+# BM_WorkloadInstrumentedDisabled: a synthetic kernel inner loop with and
+# without one guarded metrics call per item. Fails (exit 1) if the
+# instrumented-but-disabled variant is more than MAX_PCT slower (default 1%).
+# Each variant runs several repetitions and the minimum time is used, so a
+# single noisy interval doesn't fail the check.
+set -eu
+BUILD="${1:-build}"
+MAX_PCT="${2:-1.0}"
+BIN="$BUILD/bench/micro_obs"
+
+if [ ! -x "$BIN" ]; then
+  echo "check_obs_overhead: $BIN not found; build first (cmake --build $BUILD)" >&2
+  exit 2
+fi
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+"$BIN" --benchmark_filter='BM_Workload(Plain|InstrumentedDisabled)$' \
+       --benchmark_repetitions=5 --benchmark_min_time=0.2 \
+       --benchmark_format=json >"$OUT"
+
+python3 - "$OUT" "$MAX_PCT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+max_pct = float(sys.argv[2])
+
+times = {"BM_WorkloadPlain": [], "BM_WorkloadInstrumentedDisabled": []}
+for b in data["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name = b["name"].split("/")[0]
+    if name in times:
+        times[name].append(b["real_time"])
+
+for name, ts in times.items():
+    if not ts:
+        sys.exit(f"check_obs_overhead: no samples for {name}")
+
+plain = min(times["BM_WorkloadPlain"])
+instr = min(times["BM_WorkloadInstrumentedDisabled"])
+pct = (instr / plain - 1.0) * 100.0
+print(f"plain {plain:.3f} ns/item, instrumented(disabled) {instr:.3f} ns/item, "
+      f"overhead {pct:+.2f}% (budget {max_pct:.1f}%)")
+if pct > max_pct:
+    sys.exit(f"check_obs_overhead: FAIL — overhead {pct:.2f}% > {max_pct:.1f}%")
+print("check_obs_overhead: OK")
+EOF

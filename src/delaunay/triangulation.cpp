@@ -9,12 +9,29 @@
 #include "geometry/aabb.h"
 #include "geometry/predicates.h"
 #include "geometry/tetra_math.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/morton.h"
 
 namespace dtfe {
 
 namespace {
+
+struct DelaunayMetrics {
+  obs::MetricId constructions = obs::counter("dtfe.delaunay.constructions");
+  obs::MetricId points_inserted = obs::counter("dtfe.delaunay.points_inserted");
+  obs::MetricId duplicates = obs::counter("dtfe.delaunay.duplicate_points");
+  obs::MetricId cells_created = obs::counter("dtfe.delaunay.cells_created");
+  obs::MetricId conflict_cells = obs::counter("dtfe.delaunay.conflict_cells");
+  obs::MetricId walk_steps = obs::counter("dtfe.delaunay.walk_steps");
+  obs::MetricId locates = obs::counter("dtfe.delaunay.locates");
+};
+
+const DelaunayMetrics& delaunay_metrics() {
+  static const DelaunayMetrics m;
+  return m;
+}
 
 // Exact 3D collinearity: all three coordinate-plane projections collinear.
 bool collinear_exact(const Vec3& a, const Vec3& b, const Vec3& c) {
@@ -82,7 +99,9 @@ std::uint64_t edge_key(VertexId u, VertexId v) {
 
 Triangulation::Triangulation(std::span<const Vec3> points, Options opt)
     : points_(points.begin(), points.end()) {
+  obs::TraceSpan span("delaunay.triangulate", "delaunay");
   const std::size_t n = points_.size();
+  span.add_arg("points", static_cast<double>(n));
   DTFE_CHECK_MSG(n >= 4, "Delaunay triangulation needs at least 4 points");
   duplicate_of_.resize(n);
   std::iota(duplicate_of_.begin(), duplicate_of_.end(), VertexId{0});
@@ -134,6 +153,15 @@ Triangulation::Triangulation(std::span<const Vec3> points, Options opt)
     if (created != kNoCell) hint = created;
   }
   hint_cell_ = hint;
+
+  if (obs::metrics_enabled()) {
+    const DelaunayMetrics& m = delaunay_metrics();
+    obs::add(m.constructions);
+    obs::add(m.points_inserted, static_cast<double>(num_unique_));
+    obs::add(m.duplicates, static_cast<double>(n - num_unique_));
+    obs::add(m.cells_created, static_cast<double>(cells_allocated_));
+  }
+  span.add_arg("cells", static_cast<double>(live_cells_));
 
   if (opt.verify) validate(/*check_delaunay=*/num_unique_ <= 600);
 }
@@ -200,6 +228,7 @@ CellId Triangulation::new_cell() {
   t.v = {kInfinite, kInfinite, kInfinite, kInfinite};
   t.n = {kNoCell, kNoCell, kNoCell, kNoCell};
   ++live_cells_;
+  ++cells_allocated_;
   return c;
 }
 
@@ -269,8 +298,22 @@ Triangulation::LocateResult Triangulation::locate_from(
     c = cell(c).n[inf_slot];
   }
 
+  // Walk-length accounting (dtfe.delaunay.walk_steps / .locates): emitted on
+  // every exit path, including the failure throw, via the destructor.
+  struct WalkCount {
+    std::size_t steps = 0;
+    ~WalkCount() {
+      if (obs::metrics_enabled()) {
+        const DelaunayMetrics& m = delaunay_metrics();
+        obs::add(m.locates);
+        obs::add(m.walk_steps, static_cast<double>(steps));
+      }
+    }
+  } walk;
+
   const std::size_t max_steps = 8 * cells_.size() + 64;
   for (std::size_t step = 0; step < max_steps; ++step) {
+    walk.steps = step + 1;
     if (is_infinite(c)) {
       return {c, LocateStatus::kOutsideHull, kInfinite};
     }
@@ -336,6 +379,9 @@ VertexId Triangulation::insert(VertexId vid, CellId hint, CellId* last_created) 
     }
   };
   bfs_from(0);
+  if (obs::metrics_enabled())
+    obs::add(delaunay_metrics().conflict_cells,
+             static_cast<double>(conflict_cells_.size()));
 
   struct BoundaryFacet {
     VertexId a, b, d;  // new cell base, already reversed to face the cavity

@@ -171,6 +171,7 @@ class Triangulation {
   std::vector<Cell> cells_;
   std::vector<CellId> free_list_;
   std::size_t live_cells_ = 0;
+  std::size_t cells_allocated_ = 0;  ///< new_cell() calls, incl. slot reuse
   std::size_t num_unique_ = 0;
 
   // scratch buffers reused across insertions

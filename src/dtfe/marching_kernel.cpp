@@ -6,12 +6,30 @@
 #include <cmath>
 
 #include "geometry/ray_tetra.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
 namespace dtfe {
 
 namespace {
+
+struct MarchMetrics {
+  obs::MetricId rays = obs::counter("dtfe.kernel.rays_integrated");
+  obs::MetricId crossings = obs::counter("dtfe.kernel.tetra_crossings");
+  obs::MetricId restarts = obs::counter("dtfe.kernel.perturb_restarts");
+  obs::MetricId failed = obs::counter("dtfe.kernel.failed_cells");
+  obs::MetricId empty = obs::counter("dtfe.kernel.empty_cells");
+  obs::MetricId crossings_per_ray = obs::histogram(
+      "dtfe.kernel.crossings_per_ray",
+      {0, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+};
+
+const MarchMetrics& march_metrics() {
+  static const MarchMetrics m;
+  return m;
+}
 std::uint64_t next_rand(std::uint64_t& s) {
   s ^= s << 13;
   s ^= s >> 7;
@@ -202,7 +220,11 @@ double MarchingKernel::refine_cell(const Vec2& center, double size,
   for (int i = 0; i < 4; ++i) {
     const LineResult r = march_line(sub[i], zmin, zmax, rng);
     vals[i] = r.sigma;
+    if (obs::metrics_enabled())
+      obs::observe(march_metrics().crossings_per_ray,
+                   static_cast<double>(r.steps));
     if (accum) {
+      accum->rays_marched += 1;
       accum->tetra_crossed += r.steps;
       accum->perturb_restarts += static_cast<std::uint64_t>(r.restarts);
       accum->failed_cells += r.failed ? 1 : 0;
@@ -232,10 +254,14 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
   Grid2D grid(nx, ny);
   const double h = spec.cell_size();
 
+  obs::TraceSpan span("kernel.march_render", "kernel");
+  span.add_arg("cells", static_cast<double>(nx * ny));
+
   MarchingStats stats;
   stats.thread_seconds.assign(
       static_cast<std::size_t>(omp_get_max_threads()), 0.0);
-  std::uint64_t tot_steps = 0, tot_restarts = 0, tot_failed = 0, tot_empty = 0;
+  std::uint64_t tot_rays = 0, tot_steps = 0, tot_restarts = 0, tot_failed = 0,
+                tot_empty = 0;
 
   // ε is specified relative to the grid cell; march_line rescales by the
   // silhouette extent, so compose the two factors here.
@@ -245,7 +271,7 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
   local.perturb_epsilon = opt_.perturb_epsilon * (extent > 0.0 ? h / extent : 1.0);
   MarchingKernel worker(*density_, *hull_, local);
 
-#pragma omp parallel reduction(+ : tot_steps, tot_restarts, tot_failed, tot_empty)
+#pragma omp parallel reduction(+ : tot_rays, tot_steps, tot_restarts, tot_failed, tot_empty)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     ThreadCpuTimer timer;
@@ -263,6 +289,7 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
         grid.at(ix, iy) = worker.refine_cell(spec.cell_center(ix, iy), h,
                                              spec.zmin, spec.zmax, 0, rng,
                                              &local);
+        tot_rays += local.rays_marched;
         tot_steps += local.tetra_crossed;
         tot_restarts += local.perturb_restarts;
         tot_failed += local.failed_cells;
@@ -276,7 +303,11 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
           xi.y += (rand_unit(rng) - 0.5) * h;
         }
         const LineResult r = worker.march_line(xi, spec.zmin, spec.zmax, rng);
+        if (obs::metrics_enabled())
+          obs::observe(march_metrics().crossings_per_ray,
+                       static_cast<double>(r.steps));
         sigma += r.sigma;
+        tot_rays += 1;
         tot_steps += r.steps;
         tot_restarts += static_cast<std::uint64_t>(r.restarts);
         tot_failed += r.failed ? 1 : 0;
@@ -288,11 +319,23 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
   }
 
   stats.cells_rendered = nx * ny;
+  stats.rays_marched = tot_rays;
   stats.tetra_crossed = tot_steps;
   stats.perturb_restarts = tot_restarts;
   stats.failed_cells = tot_failed;
   stats.empty_cells = tot_empty;
   stats_ = stats;
+
+  if (obs::metrics_enabled()) {
+    const MarchMetrics& m = march_metrics();
+    obs::add(m.rays, static_cast<double>(tot_rays));
+    obs::add(m.crossings, static_cast<double>(tot_steps));
+    obs::add(m.restarts, static_cast<double>(tot_restarts));
+    obs::add(m.failed, static_cast<double>(tot_failed));
+    obs::add(m.empty, static_cast<double>(tot_empty));
+  }
+  span.add_arg("rays", static_cast<double>(tot_rays));
+  span.add_arg("tetra_crossings", static_cast<double>(tot_steps));
   return grid;
 }
 

@@ -56,6 +56,7 @@ struct MarchingOptions {
 
 struct MarchingStats {
   std::uint64_t cells_rendered = 0;
+  std::uint64_t rays_marched = 0;        ///< lines of sight integrated
   std::uint64_t tetra_crossed = 0;       ///< total ray–tetra steps
   std::uint64_t perturb_restarts = 0;    ///< degenerate marches restarted
   std::uint64_t failed_cells = 0;        ///< cells that hit the retry cap

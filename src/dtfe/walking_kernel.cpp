@@ -4,12 +4,24 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
 namespace dtfe {
 
 namespace {
+
+struct WalkMetrics {
+  obs::MetricId located = obs::counter("dtfe.kernel.walk_points_located");
+  obs::MetricId outside = obs::counter("dtfe.kernel.walk_points_outside");
+};
+
+const WalkMetrics& walk_metrics() {
+  static const WalkMetrics m;
+  return m;
+}
 std::uint64_t next_rand(std::uint64_t& s) {
   s ^= s << 13;
   s ^= s >> 7;
@@ -34,6 +46,9 @@ Grid2D WalkingKernel::render(const FieldSpec& spec) const {
   const std::size_t nz = opt_.z_resolution ? opt_.z_resolution : nx;
   const double h = spec.cell_size();
   const double dz = (spec.zmax - spec.zmin) / static_cast<double>(nz);
+
+  obs::TraceSpan span("kernel.walk_render", "kernel");
+  span.add_arg("cells", static_cast<double>(nx * ny));
 
   Grid2D grid(nx, ny);
   WalkingStats stats;
@@ -99,6 +114,13 @@ Grid2D WalkingKernel::render(const FieldSpec& spec) const {
   stats.points_located = located;
   stats.points_outside = outside;
   stats_ = stats;
+
+  if (obs::metrics_enabled()) {
+    const WalkMetrics& m = walk_metrics();
+    obs::add(m.located, static_cast<double>(located));
+    obs::add(m.outside, static_cast<double>(outside));
+  }
+  span.add_arg("points_located", static_cast<double>(located));
   return grid;
 }
 

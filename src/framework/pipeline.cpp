@@ -5,11 +5,14 @@
 #include <algorithm>
 #include <cstring>
 #include <cmath>
+#include <optional>
 
 #include "delaunay/hull_projection.h"
 #include "delaunay/triangulation.h"
 #include "dtfe/density.h"
 #include "dtfe/marching_kernel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/grid_index.h"
 #include "util/rng.h"
@@ -20,6 +23,47 @@ namespace dtfe {
 namespace {
 
 constexpr int kTagWork = 200;
+
+struct PipelineMetrics {
+  obs::MetricId items_computed = obs::counter("dtfe.pipeline.items_computed");
+  obs::MetricId items_received = obs::counter("dtfe.pipeline.items_received");
+  obs::MetricId items_sent = obs::counter("dtfe.pipeline.items_sent");
+  obs::MetricId work_packages =
+      obs::counter("dtfe.pipeline.work_packages_sent");
+  obs::MetricId runs = obs::counter("dtfe.pipeline.runs");
+};
+
+const PipelineMetrics& pipeline_metrics() {
+  static const PipelineMetrics m;
+  return m;
+}
+
+/// Accumulates the scope's thread-CPU seconds into a PhaseTimes field (via
+/// ScopedTimer) and emits a `cat:"pipeline"` trace span whose `cpu_s`
+/// argument is EXACTLY the accumulated value: tests/obs asserts that the
+/// per-rank sum of `cpu_s` over pipeline spans reproduces
+/// PhaseTimes::total(), so both must come from the same timer read.
+class PhaseScope {
+ public:
+  PhaseScope(const char* name, double& accumulator)
+      : name_(name),
+        timer_(accumulator),
+        start_us_(obs::TraceRecorder::global().now_us()) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() {
+    const double cpu = timer_.stop();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    if (rec.enabled())
+      rec.emit_complete(name_, "pipeline", start_us_, rec.now_us() - start_us_,
+                        {{"cpu_s", cpu}});
+  }
+
+ private:
+  const char* name_;
+  ScopedTimer timer_;
+  double start_us_;
+};
 
 // Work package layout (doubles): [n_items, {cx, cy, cz, count, xyz...}...].
 std::vector<double> pack_items(
@@ -109,8 +153,12 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
   const double ghost_radius = 0.5 * cube_side;
   Rng rng(opt.seed * 7919 + static_cast<std::uint64_t>(me));
 
+  obs::TraceRecorder::set_thread_rank(me);
+  obs::add(pipeline_metrics().runs);
+
   // ---- Phase 1: partitioning & redistribution -----------------------------
-  ThreadCpuTimer phase_timer;
+  std::optional<PhaseScope> phase;
+  phase.emplace("pipeline.partition", res.phases.partition);
   const Decomposition decomp(P, box);
   std::vector<Vec3> local_particles;
   {
@@ -140,10 +188,9 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     if (decomp.owner_of(w) == me) my_requests.push_back(w);
   }
   res.local_items = my_requests.size();
-  res.phases.partition = phase_timer.seconds();
 
   // ---- Phase 2: workload modeling -----------------------------------------
-  phase_timer.reset();
+  phase.emplace("pipeline.model", res.phases.model);
   // Spatial index over the local (owned + ghost) particles. Ghosts are
   // unwrapped, so the covering box starts at sub_lo − ghost_radius.
   const Vec3 idx_origin = decomp.sub_lo(me) -
@@ -189,10 +236,9 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     total_predicted += predicted[i];
   }
   res.predicted_local_time = total_predicted;
-  res.phases.model = phase_timer.seconds();
 
   // ---- Phase 3: work-sharing schedule --------------------------------------
-  phase_timer.reset();
+  phase.emplace("pipeline.work_share", res.phases.work_share);
   SenderPlan plan;
   std::vector<std::size_t> remaining;  // indices into my_requests
   for (std::size_t i = 0; i < my_requests.size(); ++i)
@@ -212,7 +258,7 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
   } else {
     plan.item_assignment.assign(remaining.size(), SenderPlan::kRunAtEnd);
   }
-  res.phases.work_share = phase_timer.seconds();
+  phase.reset();
 
   // ---- Phase 4: execution & communication ----------------------------------
   auto record_item = [&](ItemRecord rec, Grid2D grid, double pred_tri,
@@ -222,6 +268,29 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     rec.received = received;
     res.phases.triangulate += rec.actual_tri;
     res.phases.render += rec.actual_interp;
+    if (obs::metrics_enabled()) {
+      const PipelineMetrics& m = pipeline_metrics();
+      obs::add(m.items_computed);
+      if (received) obs::add(m.items_received);
+    }
+    obs::TraceRecorder& tr = obs::TraceRecorder::global();
+    if (tr.enabled()) {
+      // Re-emit the item's externally measured CPU times as back-to-back
+      // spans ending now (the compute itself happened just above, or in
+      // phase 2 for the model's test item). cpu_s repeats the exact values
+      // accumulated into PhaseTimes.
+      const double now = tr.now_us();
+      const double tri_us = std::max(0.0, rec.actual_tri * 1e6);
+      const double render_us = std::max(0.0, rec.actual_interp * 1e6);
+      tr.emit_complete("item.triangulate", "pipeline",
+                       now - render_us - tri_us, tri_us,
+                       {{"cpu_s", rec.actual_tri},
+                        {"n_particles", rec.n_particles},
+                        {"received", received ? 1.0 : 0.0}});
+      tr.emit_complete("item.render", "pipeline", now - render_us, render_us,
+                       {{"cpu_s", rec.actual_interp},
+                        {"received", received ? 1.0 : 0.0}});
+    }
     res.items.push_back(rec);
     if (opt.keep_grids) res.grids.push_back(std::move(grid));
   };
@@ -255,7 +324,7 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
       for (std::size_t j = 0; j < remaining.size(); ++j)
         if (plan.item_assignment[j] == plan.gap_slot(k)) execute_local(j);
 
-      ThreadCpuTimer pack_timer;
+      PhaseScope pack_scope("pipeline.pack", res.phases.work_share);
       std::vector<Vec3> centers;
       std::vector<std::vector<Vec3>> cubes;
       for (std::size_t j = 0; j < remaining.size(); ++j) {
@@ -272,7 +341,11 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
       const auto buf = pack_items(centers, cubes);
       comm.send_vector<double>(plan.ordered_sends[k].receiver, kTagWork, buf);
       res.items_sent += centers.size();
-      res.phases.work_share += pack_timer.seconds();
+      if (obs::metrics_enabled()) {
+        const PipelineMetrics& m = pipeline_metrics();
+        obs::add(m.work_packages);
+        obs::add(m.items_sent, static_cast<double>(centers.size()));
+      }
     }
     for (std::size_t j = 0; j < remaining.size(); ++j)
       if (plan.item_assignment[j] == SenderPlan::kRunAtEnd) execute_local(j);
@@ -282,11 +355,12 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     // ...then serve the expected work-sharing messages in order.
     for (const int sender : res.schedule.recv_list) {
       const auto buf = comm.recv_vector<double>(sender, kTagWork);
-      ThreadCpuTimer unpack_timer;
       std::vector<Vec3> centers;
       std::vector<std::vector<Vec3>> cubes;
-      unpack_items(buf, centers, cubes);
-      res.phases.work_share += unpack_timer.seconds();
+      {
+        PhaseScope unpack_scope("pipeline.unpack", res.phases.work_share);
+        unpack_items(buf, centers, cubes);
+      }
       for (std::size_t i = 0; i < centers.size(); ++i) {
         ItemRecord rec;
         const double n = static_cast<double>(cubes[i].size());

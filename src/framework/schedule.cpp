@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/binpack.h"
 #include "util/error.h"
 
 namespace dtfe {
+
+namespace {
+struct ScheduleMetrics {
+  obs::MetricId schedules = obs::counter("dtfe.schedule.schedules_created");
+  obs::MetricId planned_sends = obs::counter("dtfe.schedule.planned_sends");
+  obs::MetricId items_packed = obs::counter("dtfe.schedule.items_packed");
+  obs::MetricId items_leftover = obs::counter("dtfe.schedule.items_leftover");
+  obs::MetricId fill_ratio = obs::gauge("dtfe.schedule.binpack_fill_ratio");
+};
+
+const ScheduleMetrics& schedule_metrics() {
+  static const ScheduleMetrics m;
+  return m;
+}
+}  // namespace
 
 WorkShareSchedule create_communication_list(std::vector<RankWork> all,
                                             int my_id) {
@@ -69,6 +85,11 @@ WorkShareSchedule create_communication_list(std::vector<RankWork> all,
       }
     }
   }
+  if (obs::metrics_enabled()) {
+    const ScheduleMetrics& m = schedule_metrics();
+    obs::add(m.schedules);
+    obs::add(m.planned_sends, static_cast<double>(out.send_list.size()));
+  }
   return out;
 }
 
@@ -95,13 +116,26 @@ SenderPlan plan_sender(const std::vector<PlannedSend>& sends,
 
   const BinAssignment packed = pack_first_fit(item_times, bins);
   plan.item_assignment.assign(item_times.size(), SenderPlan::kRunAtEnd);
+  double packed_time = 0.0;
+  std::size_t packed_items = 0;
   for (std::size_t i = 0; i < item_times.size(); ++i) {
     const std::ptrdiff_t b = packed.item_to_bin[i];
     if (b < 0) continue;  // leftover: run locally at the end
+    packed_time += item_times[i];
+    ++packed_items;
     if (static_cast<std::size_t>(b) < n)
       plan.item_assignment[i] = plan.gap_slot(static_cast<std::size_t>(b));
     else
       plan.item_assignment[i] = static_cast<int>(static_cast<std::size_t>(b) - n);
+  }
+  if (obs::metrics_enabled()) {
+    const ScheduleMetrics& m = schedule_metrics();
+    obs::add(m.items_packed, static_cast<double>(packed_items));
+    obs::add(m.items_leftover,
+             static_cast<double>(item_times.size() - packed_items));
+    const double capacity =
+        std::accumulate(bins.begin(), bins.end(), 0.0);
+    if (capacity > 0.0) obs::set(m.fill_ratio, packed_time / capacity);
   }
   return plan;
 }

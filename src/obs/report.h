@@ -1,0 +1,54 @@
+// RunReport: one-file summary of a pipeline run — per-rank phase timings
+// plus a merged metrics snapshot — serialized as JSON (machine-readable,
+// nested) or CSV (flat `kind,rank,name,value` rows for spreadsheet import).
+//
+// The report is deliberately generic (named doubles, not PhaseTimes): obs
+// sits below framework in the link order, so framework adapts its structs
+// into rows rather than obs depending on framework headers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dtfe::obs {
+
+class RunReport {
+ public:
+  /// Per-rank named values (typically phase busy seconds). Ranks may be
+  /// added in any order; repeated calls for one rank append values.
+  void add_rank_values(int rank,
+                       std::vector<std::pair<std::string, double>> values);
+
+  /// Run-level scalars (e.g. ranks, fields, wall seconds).
+  void add_summary(std::string key, double value);
+
+  /// Attach the merged metrics snapshot to export alongside the timings.
+  void set_metrics(MetricsSnapshot snapshot) { metrics_ = std::move(snapshot); }
+
+  std::string to_json() const;
+  std::string to_csv() const;
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  struct RankRow {
+    int rank = 0;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  RankRow& row_for(int rank);
+
+  std::vector<RankRow> ranks_;
+  std::vector<std::pair<std::string, double>> summary_;
+  MetricsSnapshot metrics_;
+};
+
+/// Standalone metrics serialization (the `--metrics-out` file): one JSON
+/// object with "counters", "gauges", and "histograms" keys.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+bool write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot);
+
+}  // namespace dtfe::obs

@@ -4,6 +4,9 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dtfe::simmpi {
 
 namespace {
@@ -13,6 +16,22 @@ constexpr int kTagBarrier = kInternalTagBase + 0;
 constexpr int kTagBcast = kInternalTagBase + 1;
 constexpr int kTagGather = kInternalTagBase + 2;
 constexpr int kTagReduce = kInternalTagBase + 3;
+
+// Message/byte totals across all ranks (collective traffic included: the
+// collectives are built on these same point-to-point paths, exactly the
+// traffic a real MPI run would put on the wire).
+struct CommMetrics {
+  obs::MetricId messages_sent = obs::counter("dtfe.simmpi.messages_sent");
+  obs::MetricId bytes_sent = obs::counter("dtfe.simmpi.bytes_sent");
+  obs::MetricId messages_received =
+      obs::counter("dtfe.simmpi.messages_received");
+  obs::MetricId bytes_received = obs::counter("dtfe.simmpi.bytes_received");
+};
+
+const CommMetrics& comm_metrics() {
+  static const CommMetrics m;
+  return m;
+}
 }  // namespace
 
 class Runtime {
@@ -75,12 +94,23 @@ class Runtime {
 int Comm::size() const { return rt_->size(); }
 
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  if (obs::metrics_enabled()) {
+    const CommMetrics& m = comm_metrics();
+    obs::add(m.messages_sent);
+    obs::add(m.bytes_sent, static_cast<double>(data.size()));
+  }
   rt_->send(rank_, dest, tag, data);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int source, int tag,
                                         int* actual_source) {
-  return rt_->recv(rank_, source, tag, actual_source);
+  auto data = rt_->recv(rank_, source, tag, actual_source);
+  if (obs::metrics_enabled()) {
+    const CommMetrics& m = comm_metrics();
+    obs::add(m.messages_received);
+    obs::add(m.bytes_received, static_cast<double>(data.size()));
+  }
+  return data;
 }
 
 bool Comm::iprobe(int source, int tag) const {
@@ -145,7 +175,8 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     Comm* comm = &comms[static_cast<std::size_t>(r)];
-    threads.emplace_back([comm, &fn, &err_mutex, &first_error] {
+    threads.emplace_back([comm, r, &fn, &err_mutex, &first_error] {
+      obs::TraceRecorder::set_thread_rank(r);
       try {
         fn(*comm);
       } catch (...) {
