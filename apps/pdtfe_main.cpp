@@ -9,6 +9,8 @@
 //   pdtfe pipeline --in snap.bin [--ranks 8] [--fields 64] [--length 5]
 //                  [--grid 64] [--balance 1] [--metrics-out m.json]
 //                  [--trace-out t.json] [--report prefix]
+//                  [--fault-plan spec] [--max-retries 3]
+//                  [--comm-timeout-ms 2000] [--bad-particles reject|drop|clamp]
 //   pdtfe lensing  --in snap.bin --out-prefix lens [--grid 256]
 //                  [--length 8] [--sigma-crit-frac 4]
 //   pdtfe spectrum --in snap.bin [--grid 64] [--bins 16]
@@ -18,9 +20,16 @@
 // trace_event file loadable in chrome://tracing or Perfetto; --report writes
 // <prefix>.json and <prefix>.csv with per-rank phase times plus the metrics
 // snapshot. All default to off, leaving the hot paths unperturbed.
+//
+// Fault tolerance (see README "Fault tolerance"): --fault-plan injects
+// deterministic rank kills and message corruption into the simulated MPI
+// runtime (grammar in simmpi/fault.h); the pipeline's containment, retry,
+// fallback, and recovery paths keep the run completing with every field.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "core/dtfe.h"
@@ -28,6 +37,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "simmpi/fault.h"
 #include "util/cli.h"
 #include "util/image.h"
 #include "util/stats.h"
@@ -192,7 +202,8 @@ int cmd_render(const CliArgs& args) {
 
 int cmd_pipeline(const CliArgs& args) {
   args.check_known({"in", "ranks", "fields", "length", "grid", "balance",
-                    "metrics-out", "trace-out", "report"});
+                    "metrics-out", "trace-out", "report", "fault-plan",
+                    "max-retries", "comm-timeout-ms", "bad-particles"});
   ObsSession obs_session(args);
   const std::string path = args.get("in", std::string{});
   const int ranks = static_cast<int>(args.get("ranks", 8L));
@@ -210,39 +221,120 @@ int cmd_pipeline(const CliArgs& args) {
   opt.field_length = args.get("length", 5.0);
   opt.field_resolution = static_cast<std::size_t>(args.get("grid", 64L));
   opt.load_balance = args.get("balance", 1L) != 0;
+  opt.max_retries = static_cast<int>(args.get("max-retries", 3L));
+  opt.comm_timeout_ms = static_cast<int>(args.get("comm-timeout-ms", 2000L));
+  const std::string bad = args.get("bad-particles", std::string{"reject"});
+  if (bad == "reject") {
+    opt.bad_particles = BadParticlePolicy::kReject;
+  } else if (bad == "drop") {
+    opt.bad_particles = BadParticlePolicy::kDrop;
+  } else if (bad == "clamp") {
+    opt.bad_particles = BadParticlePolicy::kClamp;
+  } else {
+    std::fprintf(stderr, "unknown --bad-particles %s\n", bad.c_str());
+    return 2;
+  }
+  const simmpi::FaultPlan plan =
+      simmpi::FaultPlan::parse(args.get("fault-plan", std::string{}));
+  simmpi::RunOptions run_opts;
+  run_opts.fault_plan = plan.empty() ? nullptr : &plan;
+  if (!plan.empty())
+    std::printf("fault plan armed: %zu rule(s)\n", plan.rules.size());
 
   std::mutex mtx;
   RunningStats busy;
   obs::RunReport report;
   WallTimer wall;
-  simmpi::run(ranks, [&](simmpi::Comm& comm) {
+  // Aggregated across surviving ranks: which global field requests were
+  // completed (and their grid checksums), plus the fault tallies.
+  std::map<std::ptrdiff_t, double> field_sums;
+  std::size_t tot_failed = 0, tot_fallback = 0, tot_recovered = 0;
+  std::size_t tot_retries = 0, tot_lost = 0;
+  SanitizeCounts bad_counts;
+  std::set<int> dead_ranks;
+  bool model_degenerate = false;
+  simmpi::run(ranks, run_opts, [&](simmpi::Comm& comm) {
     const PipelineResult res =
         run_pipeline_from_snapshot(comm, path, centers, opt);
     std::lock_guard<std::mutex> lock(mtx);
     busy.add(res.phases.total());
+    tot_failed += res.items_failed;
+    tot_fallback += res.items_fallback;
+    tot_recovered += res.items_recovered;
+    tot_retries += res.package_retries;
+    tot_lost += res.packages_lost;
+    bad_counts.non_finite += res.bad_particles.non_finite;
+    bad_counts.out_of_box += res.bad_particles.out_of_box;
+    bad_counts.dropped += res.bad_particles.dropped;
+    bad_counts.clamped += res.bad_particles.clamped;
+    dead_ranks.insert(res.failed_ranks.begin(), res.failed_ranks.end());
+    model_degenerate = model_degenerate || res.model.degenerate();
+    std::vector<std::pair<std::string, std::string>> tags;
+    for (const ItemRecord& it : res.items) {
+      if (it.request_index >= 0) field_sums[it.request_index] = it.grid_sum;
+      if (it.failed)
+        tags.emplace_back(
+            "item_fail_" + std::to_string(it.request_index), it.fail_reason);
+    }
+    if (!tags.empty()) report.add_rank_tags(comm.rank(), std::move(tags));
     report.add_rank_values(comm.rank(),
                            {{"partition_s", res.phases.partition},
                             {"model_s", res.phases.model},
                             {"work_share_s", res.phases.work_share},
                             {"triangulate_s", res.phases.triangulate},
                             {"render_s", res.phases.render},
+                            {"recover_s", res.phases.recover},
                             {"total_s", res.phases.total()},
                             {"local_items", static_cast<double>(res.local_items)},
                             {"items_received",
-                             static_cast<double>(res.items_received)}});
-    std::printf("rank %2d: %3zu local, %3zu received, busy %.2fs\n",
+                             static_cast<double>(res.items_received)},
+                            {"items_failed",
+                             static_cast<double>(res.items_failed)},
+                            {"items_fallback",
+                             static_cast<double>(res.items_fallback)},
+                            {"items_recovered",
+                             static_cast<double>(res.items_recovered)}});
+    std::printf("rank %2d: %3zu local, %3zu received, %zu failed, "
+                "%zu fallback, %zu recovered, busy %.2fs\n",
                 comm.rank(), res.local_items, res.items_received,
+                res.items_failed, res.items_fallback, res.items_recovered,
                 res.phases.total());
   });
   std::printf("busy: mean %.2fs max %.2fs (imbalance %.2f)\n", busy.mean(),
               busy.max(), busy.max() / std::max(busy.mean(), 1e-12));
+  double checksum_total = 0.0;
+  for (const auto& [id, sum] : field_sums) checksum_total += sum;
+  std::printf("fields completed: %zu/%zu (failed %zu, recovered %zu, "
+              "fallback %zu, retries %zu)\n",
+              field_sums.size(), centers.size(), tot_failed, tot_recovered,
+              tot_fallback, tot_retries);
+  std::printf("grid checksum total: %.9e\n", checksum_total);
+  if (!dead_ranks.empty()) {
+    std::printf("ranks failed:");
+    for (const int r : dead_ranks) std::printf(" %d", r);
+    std::printf("\n");
+  }
   const obs::MetricsSnapshot snap = obs_session.finish();
   if (!obs_session.report_prefix.empty()) {
     report.add_summary("ranks", ranks);
     report.add_summary("fields", static_cast<double>(centers.size()));
+    report.add_summary("fields_completed",
+                       static_cast<double>(field_sums.size()));
     report.add_summary("wall_s", wall.seconds());
     report.add_summary("busy_mean_s", busy.mean());
     report.add_summary("busy_max_s", busy.max());
+    report.add_summary("items_failed", static_cast<double>(tot_failed));
+    report.add_summary("items_fallback", static_cast<double>(tot_fallback));
+    report.add_summary("items_recovered", static_cast<double>(tot_recovered));
+    report.add_summary("package_retries", static_cast<double>(tot_retries));
+    report.add_summary("packages_lost", static_cast<double>(tot_lost));
+    report.add_summary("bad_particles_dropped",
+                       static_cast<double>(bad_counts.dropped));
+    report.add_summary("bad_particles_clamped",
+                       static_cast<double>(bad_counts.clamped));
+    report.add_summary("ranks_failed", static_cast<double>(dead_ranks.size()));
+    report.add_summary("model_degenerate", model_degenerate ? 1.0 : 0.0);
+    report.add_summary("grid_checksum_total", checksum_total);
     report.set_metrics(snap);
     const std::string jpath = obs_session.report_prefix + ".json";
     const std::string cpath = obs_session.report_prefix + ".csv";

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Fault-injection matrix: sweep fault plans × rank counts through
+# `pdtfe pipeline` and assert that every faulty run
+#   (a) exits 0,
+#   (b) completes ALL fields (containment/retry/fallback/recovery did their
+#       job), and
+#   (c) reproduces the fault-free total grid checksum (relative 1e-6).
+#
+# usage: run_fault_matrix.sh [pdtfe-binary] [--sanitize thread|address]
+#
+# With --sanitize the script configures and builds build-<san>/ with
+# -DDTFE_SANITIZE=<san> and sweeps that binary instead, so the same matrix
+# doubles as the ThreadSanitizer gate for the fault paths:
+#   scripts/run_fault_matrix.sh --sanitize thread
+# Default binary: build/apps/pdtfe (or pass a path).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PDTFE="build/apps/pdtfe"
+SANITIZE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sanitize)
+      SANITIZE="$2"
+      shift 2
+      ;;
+    *)
+      PDTFE="$1"
+      shift
+      ;;
+  esac
+done
+
+if [ -n "$SANITIZE" ]; then
+  BUILD="build-$SANITIZE"
+  echo "== configuring $BUILD with DTFE_SANITIZE=$SANITIZE"
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DDTFE_SANITIZE="$SANITIZE" >/dev/null
+  cmake --build "$BUILD" --target pdtfe -j"$(nproc)" >/dev/null
+  PDTFE="$BUILD/apps/pdtfe"
+fi
+
+[ -x "$PDTFE" ] || { echo "pdtfe binary not found at $PDTFE" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+SNAP="$TMP/snap.bin"
+"$PDTFE" generate --out "$SNAP" --kind halo --n 60000 --box 64 --blocks 4 \
+    --seed 3 >/dev/null
+
+# Plans name concrete (src, dst) pairs / victim ranks; pairs that never
+# communicate at a given rank count are harmless no-ops — the invariant
+# (all fields completed, checksum unchanged) is asserted either way. The
+# last plan is the acceptance scenario: a receiver dies mid-execution AND a
+# work package is dropped in the same run.
+PLANS=(
+  "drop:src=4,dst=5,nth=1,tag=200"
+  "drop:src=7,dst=1,nth=1,tag=200"
+  "trunc:src=4,dst=5,nth=1,tag=200"
+  "flip:src=4,dst=5,nth=1,tag=200"
+  "delay:src=4,dst=5,nth=1,tag=200,ms=300"
+  "kill:rank=1,tag=200,at=1"
+  "kill:rank=5,tag=200,at=1;drop:src=7,dst=1,nth=1,tag=200"
+)
+
+run_pipeline() { # $1 ranks, $2 fault plan ("" = none) -> stdout of pdtfe
+  local ranks="$1" plan="$2"
+  local -a extra=()
+  [ -n "$plan" ] && extra=(--fault-plan "$plan")
+  "$PDTFE" pipeline --in "$SNAP" --ranks "$ranks" --fields 24 --length 5 \
+      --grid 48 --comm-timeout-ms 500 --max-retries 3 "${extra[@]}"
+}
+
+completed_of() { # parses "fields completed: X/Y ..." -> "X Y"
+  printf '%s\n' "$1" | sed -n 's|^fields completed: \([0-9]*\)/\([0-9]*\).*|\1 \2|p'
+}
+
+checksum_of() { # parses "grid checksum total: C" -> "C"
+  printf '%s\n' "$1" | sed -n 's|^grid checksum total: \(.*\)|\1|p'
+}
+
+failures=0
+for ranks in 4 8; do
+  echo "== $ranks ranks: fault-free baseline"
+  base_out="$(run_pipeline "$ranks" "")"
+  read -r base_completed base_total <<<"$(completed_of "$base_out")"
+  base_checksum="$(checksum_of "$base_out")"
+  if [ -z "$base_checksum" ] || [ "$base_completed" != "$base_total" ]; then
+    echo "FAIL baseline at $ranks ranks: $base_completed/$base_total fields"
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "   baseline: $base_completed/$base_total fields, checksum $base_checksum"
+
+  for plan in "${PLANS[@]}"; do
+    if ! out="$(run_pipeline "$ranks" "$plan")"; then
+      echo "FAIL [$ranks ranks] '$plan': nonzero exit"
+      failures=$((failures + 1))
+      continue
+    fi
+    read -r completed total <<<"$(completed_of "$out")"
+    checksum="$(checksum_of "$out")"
+    if [ "$completed" != "$total" ] || [ "$total" != "$base_total" ]; then
+      echo "FAIL [$ranks ranks] '$plan': $completed/$total fields completed"
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! awk -v a="$base_checksum" -v b="$checksum" 'BEGIN {
+          d = a - b; if (d < 0) d = -d;
+          m = (a < 0 ? -a : a); if (m < 1) m = 1;
+          exit !(d / m < 1e-6) }'; then
+      echo "FAIL [$ranks ranks] '$plan': checksum $checksum != $base_checksum"
+      failures=$((failures + 1))
+      continue
+    fi
+    echo "   ok [$ranks ranks] '$plan'"
+  done
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "fault matrix: $failures case(s) FAILED"
+  exit 1
+fi
+echo "fault matrix: all cases passed"

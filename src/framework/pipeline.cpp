@@ -6,6 +6,7 @@
 #include <cstring>
 #include <cmath>
 #include <optional>
+#include <span>
 
 #include "delaunay/hull_projection.h"
 #include "delaunay/triangulation.h"
@@ -23,6 +24,16 @@ namespace dtfe {
 namespace {
 
 constexpr int kTagWork = 200;
+constexpr int kTagWorkAck = 201;
+
+/// Acknowledgement for one work package, identified by its sequence number.
+struct WorkAck {
+  std::int32_t code = 0;
+  std::int32_t seq = 0;  ///< -1 when the receiver never saw a valid header
+};
+constexpr std::int32_t kAckOk = 1;      ///< package validated, items accepted
+constexpr std::int32_t kAckResend = 2;  ///< package missing/corrupt, send again
+constexpr std::int32_t kAckGiveUp = 3;  ///< retries exhausted, sender keeps it
 
 struct PipelineMetrics {
   obs::MetricId items_computed = obs::counter("dtfe.pipeline.items_computed");
@@ -31,6 +42,13 @@ struct PipelineMetrics {
   obs::MetricId work_packages =
       obs::counter("dtfe.pipeline.work_packages_sent");
   obs::MetricId runs = obs::counter("dtfe.pipeline.runs");
+  obs::MetricId items_failed = obs::counter("dtfe.item.failed");
+  obs::MetricId items_recovered =
+      obs::counter("dtfe.pipeline.items_recovered");
+  obs::MetricId fallback = obs::counter("dtfe.workshare.fallback");
+  obs::MetricId retries = obs::counter("dtfe.workshare.retries");
+  obs::MetricId packages_lost = obs::counter("dtfe.workshare.packages_lost");
+  obs::MetricId bad_particles = obs::counter("dtfe.input.bad_particles");
 };
 
 const PipelineMetrics& pipeline_metrics() {
@@ -65,13 +83,34 @@ class PhaseScope {
   double start_us_;
 };
 
-// Work package layout (doubles): [n_items, {cx, cy, cz, count, xyz...}...].
+// Work package wire format, all doubles:
+//   header  [kPackMagic, seq, n_payload, checksum(payload)]
+//   payload [n_items, {req_idx, cx, cy, cz, count, xyz...}...]
+// seq starts at 1 and increases per sender, so a receiver can reject stale
+// duplicates; the checksum lets it detect corruption and request a resend.
+constexpr double kPackMagic = 7119720.0;
+
+/// FNV-1a over the payload bytes, folded to 32 bits so the value is exactly
+/// representable as a double and the package stays a plain double buffer.
+double payload_checksum(std::span<const double> payload) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(payload.data());
+  const std::size_t n = payload.size() * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<double>(static_cast<std::uint32_t>(h ^ (h >> 32)));
+}
+
 std::vector<double> pack_items(
+    int seq, const std::vector<std::ptrdiff_t>& request_ids,
     const std::vector<Vec3>& centers,
     const std::vector<std::vector<Vec3>>& particle_sets) {
-  std::vector<double> buf;
+  std::vector<double> buf(4, 0.0);
   buf.push_back(static_cast<double>(centers.size()));
   for (std::size_t i = 0; i < centers.size(); ++i) {
+    buf.push_back(static_cast<double>(request_ids[i]));
     buf.push_back(centers[i].x);
     buf.push_back(centers[i].y);
     buf.push_back(centers[i].z);
@@ -82,17 +121,50 @@ std::vector<double> pack_items(
       buf.push_back(p.z);
     }
   }
+  buf[0] = kPackMagic;
+  buf[1] = static_cast<double>(seq);
+  buf[2] = static_cast<double>(buf.size() - 4);
+  buf[3] = payload_checksum({buf.data() + 4, buf.size() - 4});
   return buf;
 }
 
-void unpack_items(const std::vector<double>& buf, std::vector<Vec3>& centers,
+/// Full validation of a received package: header sanity, checksum, and a
+/// structural walk of the payload so unpack_items cannot run off the end.
+/// Returns an empty string when the package is good, else the reason.
+std::string package_problem(const std::vector<double>& buf) {
+  if (buf.size() < 5) return "package shorter than its header";
+  if (buf[0] != kPackMagic) return "bad package magic";
+  if (buf[2] != static_cast<double>(buf.size() - 4))
+    return "package length mismatch (truncated or padded)";
+  if (buf[3] != payload_checksum({buf.data() + 4, buf.size() - 4}))
+    return "package checksum mismatch";
+  const double n_items = buf[4];
+  if (!(n_items >= 0.0) || n_items != std::floor(n_items))
+    return "package item count is malformed";
+  std::size_t pos = 5;
+  for (double i = 0.0; i < n_items; i += 1.0) {
+    if (pos + 5 > buf.size()) return "package payload is malformed";
+    const double count = buf[pos + 4];
+    if (!(count >= 0.0) || count != std::floor(count))
+      return "package particle count is malformed";
+    pos += 5 + 3 * static_cast<std::size_t>(count);
+  }
+  if (pos != buf.size()) return "package payload is malformed";
+  return {};
+}
+
+void unpack_items(const std::vector<double>& buf,
+                  std::vector<std::ptrdiff_t>& request_ids,
+                  std::vector<Vec3>& centers,
                   std::vector<std::vector<Vec3>>& particle_sets) {
-  DTFE_CHECK(!buf.empty());
-  std::size_t pos = 0;
+  DTFE_CHECK(buf.size() >= 5);
+  std::size_t pos = 4;
   const auto n = static_cast<std::size_t>(buf[pos++]);
+  request_ids.resize(n);
   centers.resize(n);
   particle_sets.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    request_ids[i] = static_cast<std::ptrdiff_t>(buf[pos++]);
     centers[i] = {buf[pos], buf[pos + 1], buf[pos + 2]};
     pos += 3;
     const auto count = static_cast<std::size_t>(buf[pos++]);
@@ -105,6 +177,10 @@ void unpack_items(const std::vector<double>& buf, std::vector<Vec3>& centers,
   DTFE_CHECK(pos == buf.size());
 }
 
+bool finite3(const Vec3& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z);
+}
+
 }  // namespace
 
 Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
@@ -112,7 +188,16 @@ Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
                           ItemRecord& record) {
   record.center = center;
   record.n_particles = static_cast<double>(cube_particles.size());
+  auto contain = [&](const char* reason) {
+    record.failed = true;
+    record.fail_reason = reason;
+    if (obs::metrics_enabled()) obs::add(pipeline_metrics().items_failed);
+    return Grid2D(opt.field_resolution, opt.field_resolution);
+  };
+  for (const Vec3& p : cube_particles)
+    if (!finite3(p)) return contain("non-finite particle position in cube");
   if (cube_particles.size() < opt.min_particles) {
+    // An (almost) empty region is an expected zero field, not a failure.
     return Grid2D(opt.field_resolution, opt.field_resolution);
   }
   ThreadCpuTimer t;
@@ -128,24 +213,32 @@ Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
         FieldSpec::centered(center, opt.field_length, opt.field_resolution);
     grid = kernel.render(spec);
     record.actual_interp = t.seconds();
-  } catch (const Error&) {
-    // Degenerate cube (e.g. all points coplanar): an empty field, as a
-    // production code must tolerate pathological requests.
+  } catch (const Error& e) {
+    // Degenerate cube (e.g. all points coplanar): contained as an empty
+    // field, as a production code must tolerate pathological requests.
     record.actual_tri = t.seconds();
-    grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    record.failed = true;
+    record.fail_reason = e.what();
+    if (obs::metrics_enabled()) obs::add(pipeline_metrics().items_failed);
+    return Grid2D(opt.field_resolution, opt.field_resolution);
   }
+  for (const double v : grid.values())
+    if (!std::isfinite(v)) return contain("non-finite value in rendered grid");
   return grid;
 }
 
 namespace {
 /// Shared core of the pipeline: `my_block` is whatever subset of the global
 /// particles this rank obtained from its read (any block assignment works —
-/// redistribution sorts ownership out).
+/// redistribution sorts ownership out). `fetch_cube` re-reads the particle
+/// cube around a field center from this rank's durable source; the recovery
+/// phase uses it to recompute items lost with a dead rank.
 PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
                                  double particle_mass,
                                  std::vector<Vec3> my_block,
                                  std::vector<Vec3> field_centers,
-                                 const PipelineOptions& opt) {
+                                 const PipelineOptions& opt,
+                                 const CubeFetcher& fetch_cube) {
   PipelineResult res;
   const int P = comm.size();
   const int me = comm.rank();
@@ -159,6 +252,15 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
   // ---- Phase 1: partitioning & redistribution -----------------------------
   std::optional<PhaseScope> phase;
   phase.emplace("pipeline.partition", res.phases.partition);
+
+  // Input hardening: repair or reject bad positions before they can poison
+  // the redistribution (an out-of-box particle has no owner rank; a NaN
+  // position corrupts any triangulation it reaches).
+  res.bad_particles = sanitize_positions(my_block, box, opt.bad_particles);
+  if (res.bad_particles.bad() > 0 && obs::metrics_enabled())
+    obs::add(pipeline_metrics().bad_particles,
+             static_cast<double>(res.bad_particles.bad()));
+
   const Decomposition decomp(P, box);
   std::vector<Vec3> local_particles;
   {
@@ -169,7 +271,8 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
   }
 
   // Field locations: read by one process and broadcast; each rank keeps the
-  // requests whose center falls in its sub-volume.
+  // requests whose center falls in its sub-volume. Requests carry their
+  // global index so completion can be tracked across ranks.
   {
     std::vector<std::byte> blob;
     if (me == 0) {
@@ -183,9 +286,13 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     }
   }
   std::vector<Vec3> my_requests;
-  for (const Vec3& c : field_centers) {
-    const Vec3 w = wrap_periodic(c, box);
-    if (decomp.owner_of(w) == me) my_requests.push_back(w);
+  std::vector<std::ptrdiff_t> my_request_ids;
+  for (std::size_t gi = 0; gi < field_centers.size(); ++gi) {
+    const Vec3 w = wrap_periodic(field_centers[gi], box);
+    if (decomp.owner_of(w) == me) {
+      my_requests.push_back(w);
+      my_request_ids.push_back(static_cast<std::ptrdiff_t>(gi));
+    }
   }
   res.local_items = my_requests.size();
 
@@ -222,6 +329,7 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     for (const auto id : ids) cube.push_back(local_particles[id]);
     test_grid = compute_field_item(std::move(cube), particle_mass,
                                    my_requests[ti], opt, test_record);
+    test_record.request_index = my_request_ids[ti];
     my_samples.push_back({item_counts[ti], test_record.actual_tri,
                           test_record.actual_interp});
   }
@@ -266,12 +374,18 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     rec.predicted_tri = pred_tri;
     rec.predicted_interp = pred_interp;
     rec.received = received;
+    rec.grid_sum = grid.sum();
     res.phases.triangulate += rec.actual_tri;
     res.phases.render += rec.actual_interp;
+    if (rec.failed) ++res.items_failed;
+    if (rec.fallback) ++res.items_fallback;
+    if (rec.recovered) ++res.items_recovered;
     if (obs::metrics_enabled()) {
       const PipelineMetrics& m = pipeline_metrics();
       obs::add(m.items_computed);
       if (received) obs::add(m.items_received);
+      if (rec.fallback) obs::add(m.fallback);
+      if (rec.recovered) obs::add(m.items_recovered);
     }
     obs::TraceRecorder& tr = obs::TraceRecorder::global();
     if (tr.enabled()) {
@@ -313,9 +427,80 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     ItemRecord rec;
     Grid2D grid = compute_field_item(std::move(cube), particle_mass,
                                      my_requests[i], opt, rec);
+    rec.request_index = my_request_ids[i];
     record_item(std::move(rec), std::move(grid),
                 res.model.predict_tri(item_counts[i]),
                 res.model.predict_interp(item_counts[i]), false);
+  };
+
+  // A work package the sender keeps until the receiver acknowledges it; on
+  // death, timeout, or give-up the sender unpacks it and computes the items
+  // itself (degrading toward the paper's no-load-balance baseline).
+  struct PendingSend {
+    int receiver = 0;
+    int seq = 0;
+    std::vector<double> buf;
+  };
+  std::vector<PendingSend> pending;
+
+  auto fallback_package = [&](const PendingSend& p) {
+    ++res.packages_lost;
+    if (obs::metrics_enabled()) obs::add(pipeline_metrics().packages_lost);
+    std::vector<std::ptrdiff_t> req_ids;
+    std::vector<Vec3> centers;
+    std::vector<std::vector<Vec3>> cubes;
+    {
+      PhaseScope unpack_scope("pipeline.unpack", res.phases.work_share);
+      unpack_items(p.buf, req_ids, centers, cubes);
+    }
+    for (std::size_t i = 0; i < centers.size(); ++i) {
+      ItemRecord rec;
+      rec.fallback = true;
+      const double n = static_cast<double>(cubes[i].size());
+      Grid2D grid = compute_field_item(std::move(cubes[i]), particle_mass,
+                                       centers[i], opt, rec);
+      rec.request_index = req_ids[i];
+      record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
+                  res.model.predict_interp(n), false);
+    }
+  };
+
+  // Wait for one pending package's fate: OK (receiver computes it), RESEND
+  // up to max_retries times, or fallback on give-up/timeout/death. Acks from
+  // one receiver arrive in FIFO order, so the next relevant ack is for the
+  // oldest unresolved package to that receiver — stale acks are skipped.
+  auto reconcile = [&](PendingSend& p) {
+    int resends = 0;
+    while (true) {
+      const simmpi::RecvResult r =
+          comm.recv_bytes_timeout(p.receiver, kTagWorkAck, opt.comm_timeout_ms);
+      if (r.status == simmpi::RecvStatus::kRankFailed ||
+          r.status == simmpi::RecvStatus::kTimeout) {
+        fallback_package(p);  // receiver dead or unreachable
+        return;
+      }
+      if (r.payload.size() != sizeof(WorkAck)) continue;
+      WorkAck ack;
+      std::memcpy(&ack, r.payload.data(), sizeof ack);
+      if (ack.code == kAckOk) {
+        if (ack.seq == p.seq) return;
+        continue;  // stale ack for an already-resolved package
+      }
+      if (ack.code == kAckGiveUp) {
+        fallback_package(p);
+        return;
+      }
+      if (ack.code == kAckResend) {
+        if (++resends > opt.max_retries) {
+          fallback_package(p);
+          return;
+        }
+        ++res.package_retries;
+        if (obs::metrics_enabled()) obs::add(pipeline_metrics().retries);
+        comm.send_vector<double>(p.receiver, kTagWork, p.buf);
+        continue;
+      }
+    }
   };
 
   if (!res.schedule.send_list.empty()) {
@@ -325,11 +510,13 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
         if (plan.item_assignment[j] == plan.gap_slot(k)) execute_local(j);
 
       PhaseScope pack_scope("pipeline.pack", res.phases.work_share);
+      std::vector<std::ptrdiff_t> req_ids;
       std::vector<Vec3> centers;
       std::vector<std::vector<Vec3>> cubes;
       for (std::size_t j = 0; j < remaining.size(); ++j) {
         if (plan.item_assignment[j] != static_cast<int>(k)) continue;
         const std::size_t i = remaining[j];
+        req_ids.push_back(my_request_ids[i]);
         centers.push_back(my_requests[i]);
         std::vector<std::uint32_t> ids;
         index.gather_in_cube(my_requests[i], cube_side, ids);
@@ -338,7 +525,8 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
         for (const auto id : ids) cube.push_back(local_particles[id]);
         cubes.push_back(std::move(cube));
       }
-      const auto buf = pack_items(centers, cubes);
+      const int seq = static_cast<int>(k) + 1;
+      auto buf = pack_items(seq, req_ids, centers, cubes);
       comm.send_vector<double>(plan.ordered_sends[k].receiver, kTagWork, buf);
       res.items_sent += centers.size();
       if (obs::metrics_enabled()) {
@@ -346,33 +534,140 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
         obs::add(m.work_packages);
         obs::add(m.items_sent, static_cast<double>(centers.size()));
       }
+      if (opt.fault_tolerant)
+        pending.push_back({plan.ordered_sends[k].receiver, seq,
+                           std::move(buf)});
     }
     for (std::size_t j = 0; j < remaining.size(); ++j)
       if (plan.item_assignment[j] == SenderPlan::kRunAtEnd) execute_local(j);
+    // Ack reconciliation is deferred until after all local work so a slow
+    // receiver never stalls the sender's own items.
+    for (PendingSend& p : pending) reconcile(p);
   } else {
     // RECEIVER or neutral rank: drain local work...
     for (std::size_t j = 0; j < remaining.size(); ++j) execute_local(j);
     // ...then serve the expected work-sharing messages in order.
+    std::vector<int> last_seq(static_cast<std::size_t>(P), 0);
     for (const int sender : res.schedule.recv_list) {
-      const auto buf = comm.recv_vector<double>(sender, kTagWork);
-      std::vector<Vec3> centers;
-      std::vector<std::vector<Vec3>> cubes;
-      {
-        PhaseScope unpack_scope("pipeline.unpack", res.phases.work_share);
-        unpack_items(buf, centers, cubes);
+      auto handle_package = [&](const std::vector<double>& buf) {
+        std::vector<std::ptrdiff_t> req_ids;
+        std::vector<Vec3> centers;
+        std::vector<std::vector<Vec3>> cubes;
+        {
+          PhaseScope unpack_scope("pipeline.unpack", res.phases.work_share);
+          unpack_items(buf, req_ids, centers, cubes);
+        }
+        for (std::size_t i = 0; i < centers.size(); ++i) {
+          ItemRecord rec;
+          const double n = static_cast<double>(cubes[i].size());
+          Grid2D grid =
+              compute_field_item(std::move(cubes[i]), particle_mass,
+                                 centers[i], opt, rec);
+          rec.request_index = req_ids[i];
+          record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
+                      res.model.predict_interp(n), true);
+          ++res.items_received;
+        }
+      };
+
+      if (!opt.fault_tolerant) {
+        const auto buf = comm.recv_vector<double>(sender, kTagWork);
+        const std::string problem = package_problem(buf);
+        DTFE_CHECK_MSG(problem.empty(), "work package from rank "
+                                            << sender << ": " << problem);
+        handle_package(buf);
+        continue;
       }
-      for (std::size_t i = 0; i < centers.size(); ++i) {
-        ItemRecord rec;
-        const double n = static_cast<double>(cubes[i].size());
-        Grid2D grid =
-            compute_field_item(std::move(cubes[i]), particle_mass,
-                               centers[i], opt, rec);
-        record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
-                    res.model.predict_interp(n), true);
-        ++res.items_received;
+
+      int attempts = 0;
+      while (true) {
+        const simmpi::RecvResult r =
+            comm.recv_bytes_timeout(sender, kTagWork, opt.comm_timeout_ms);
+        if (r.status == simmpi::RecvStatus::kRankFailed) {
+          // The sender died; whatever it meant to ship is recomputed by the
+          // survivors in the recovery phase.
+          break;
+        }
+        std::string problem;
+        std::vector<double> buf;
+        if (r.status == simmpi::RecvStatus::kTimeout) {
+          problem = "work package never arrived";
+        } else if (r.payload.size() % sizeof(double) != 0) {
+          problem = "work package is not a whole number of doubles";
+        } else {
+          buf.resize(r.payload.size() / sizeof(double));
+          std::memcpy(buf.data(), r.payload.data(), r.payload.size());
+          problem = package_problem(buf);
+        }
+        if (problem.empty()) {
+          const int seq = static_cast<int>(buf[1]);
+          if (seq <= last_seq[static_cast<std::size_t>(sender)])
+            continue;  // stale duplicate of an already-accepted package
+          last_seq[static_cast<std::size_t>(sender)] = seq;
+          comm.send_value(sender, kTagWorkAck, WorkAck{kAckOk, seq});
+          handle_package(buf);
+          break;
+        }
+        ++attempts;
+        if (attempts > opt.max_retries) {
+          // The sender keeps the package and computes it itself; it also
+          // owns the packages_lost tally, so no counting here.
+          comm.send_value(sender, kTagWorkAck, WorkAck{kAckGiveUp, -1});
+          break;
+        }
+        comm.send_value(sender, kTagWorkAck, WorkAck{kAckResend, -1});
       }
     }
   }
+
+  // ---- Recovery: recompute items lost with dead ranks ----------------------
+  if (opt.fault_tolerant && P > 1) {
+    comm.barrier();
+    // All live ranks must agree on entering recovery — a rank can die after
+    // some peers have already sampled any_rank_failed(), so the decision
+    // comes from a reduction, not from local observation.
+    const bool recover =
+        comm.allreduce_max(comm.any_rank_failed() ? 1.0 : 0.0) > 0.0;
+    if (recover) {
+      PhaseScope recover_scope("pipeline.recover", res.phases.recover);
+      std::vector<std::int64_t> done;
+      done.reserve(res.items.size());
+      for (const ItemRecord& it : res.items)
+        if (it.request_index >= 0)
+          done.push_back(static_cast<std::int64_t>(it.request_index));
+      const auto all_done = comm.allgatherv<std::int64_t>(done);
+      std::vector<char> have(field_centers.size(), 0);
+      for (const auto& per_rank : all_done)
+        for (const std::int64_t id : per_rank)
+          if (id >= 0 && id < static_cast<std::int64_t>(field_centers.size()))
+            have[static_cast<std::size_t>(id)] = 1;
+      const auto dead = comm.failed_ranks();
+      std::vector<int> live;
+      for (int r = 0; r < P; ++r)
+        if (std::find(dead.begin(), dead.end(), r) == dead.end())
+          live.push_back(r);
+      // Deterministic round-robin over the survivors: every rank advances
+      // the slot for every missing id, so the assignment is agreed without
+      // another negotiation round.
+      std::size_t slot = 0;
+      for (std::size_t gi = 0; gi < field_centers.size(); ++gi) {
+        if (have[gi]) continue;
+        const int who = live[slot++ % live.size()];
+        if (who != me) continue;
+        const Vec3 w = wrap_periodic(field_centers[gi], box);
+        ItemRecord rec;
+        rec.recovered = true;
+        std::vector<Vec3> cube = fetch_cube(w, cube_side);
+        const double n = static_cast<double>(cube.size());
+        Grid2D grid =
+            compute_field_item(std::move(cube), particle_mass, w, opt, rec);
+        rec.request_index = static_cast<std::ptrdiff_t>(gi);
+        record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
+                    res.model.predict_interp(n), false);
+      }
+    }
+  }
+  res.failed_ranks = comm.failed_ranks();
 
   comm.barrier();
   return res;
@@ -394,8 +689,13 @@ PipelineResult run_pipeline(simmpi::Comm& comm, const ParticleSet& particles,
   std::vector<Vec3> block(
       particles.positions.begin() + static_cast<std::ptrdiff_t>(lo),
       particles.positions.begin() + static_cast<std::ptrdiff_t>(hi));
+  // Recovery source: the full in-memory set every rank already holds.
+  const CubeFetcher fetch = [&particles](const Vec3& center, double side) {
+    return extract_cube(particles, center, side);
+  };
   return run_pipeline_impl(comm, particles.box_length, particles.particle_mass,
-                           std::move(block), std::move(field_centers), opt);
+                           std::move(block), std::move(field_centers), opt,
+                           fetch);
 }
 
 PipelineResult run_pipeline_from_snapshot(simmpi::Comm& comm,
@@ -411,8 +711,15 @@ PipelineResult run_pipeline_from_snapshot(simmpi::Comm& comm,
     const auto part = read_snapshot_block(snapshot_path, header, b);
     block.insert(block.end(), part.begin(), part.end());
   }
+  // Recovery source: a targeted re-read of only the snapshot blocks whose
+  // sub-volumes intersect the requested cube.
+  const CubeFetcher fetch = [&snapshot_path, &header](const Vec3& center,
+                                                      double side) {
+    return read_snapshot_cube(snapshot_path, header, center, side);
+  };
   return run_pipeline_impl(comm, header.box_length, header.particle_mass,
-                           std::move(block), std::move(field_centers), opt);
+                           std::move(block), std::move(field_centers), opt,
+                           fetch);
 }
 
 }  // namespace dtfe

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,19 @@ struct PipelineOptions {
   std::size_t min_particles = 32;
   std::size_t count_grid_cells = 48;///< particle-count index resolution
   std::uint64_t seed = 99;
+  // --- fault tolerance (see README "Fault tolerance") ---------------------
+  /// Run the acknowledged work-package protocol plus the post-execution
+  /// recovery phase. Off = the paper's original fire-and-forget exchange.
+  bool fault_tolerant = true;
+  /// How many times a corrupt or missing work package is re-requested before
+  /// the pair gives up and the sender computes the items itself.
+  int max_retries = 3;
+  /// Bounded wait used by the package/ack exchanges. Generous by default so
+  /// slow ranks are not mistaken for dead ones (death itself is detected
+  /// immediately, not by timeout).
+  int comm_timeout_ms = 2000;
+  /// What to do with non-finite / out-of-box input particle positions.
+  BadParticlePolicy bad_particles = BadParticlePolicy::kReject;
 };
 
 /// Per-rank busy seconds for each phase (thread CPU time: blocking receives
@@ -46,20 +60,30 @@ struct PhaseTimes {
   double triangulate = 0.0;
   double render = 0.0;
   double work_share = 0.0;  ///< packing/unpacking/sending work packages
+  double recover = 0.0;     ///< recomputing items lost to dead ranks
   double total() const {
-    return partition + model + triangulate + render + work_share;
+    return partition + model + triangulate + render + work_share + recover;
   }
 };
 
 /// One computed field request.
 struct ItemRecord {
   Vec3 center;
+  /// Index into the global field-request list (-1 if unknown, e.g. items
+  /// received from a pre-fault-tolerance sender).
+  std::ptrdiff_t request_index = -1;
   double n_particles = 0.0;
   double predicted_tri = 0.0;
   double predicted_interp = 0.0;
   double actual_tri = 0.0;
   double actual_interp = 0.0;
+  double grid_sum = 0.0;  ///< checksum of the rendered grid
   bool received = false;  ///< computed here on behalf of another rank
+  bool failed = false;    ///< contained failure: the grid is all zeros
+  bool recovered = false; ///< recomputed in the recovery phase
+  bool fallback = false;  ///< shipped item computed locally after the
+                          ///< receiver died, timed out, or gave up
+  std::string fail_reason;///< what went wrong when failed
 };
 
 struct PipelineResult {
@@ -73,6 +97,13 @@ struct PipelineResult {
   std::size_t local_items = 0;     ///< requests whose center this rank owns
   std::size_t items_sent = 0;      ///< shipped to other ranks
   std::size_t items_received = 0;
+  std::size_t items_failed = 0;    ///< contained failures (zero grids)
+  std::size_t items_fallback = 0;  ///< shipped items computed locally instead
+  std::size_t items_recovered = 0; ///< dead ranks' items recomputed here
+  std::size_t package_retries = 0; ///< work-package re-requests served
+  std::size_t packages_lost = 0;   ///< packages abandoned (fallback taken)
+  SanitizeCounts bad_particles;    ///< input-hardening tallies for this rank
+  std::vector<int> failed_ranks;   ///< ranks dead by the end of the run
   double predicted_local_time = 0.0;  ///< scheduler input for this rank
 };
 
@@ -85,11 +116,19 @@ PipelineResult run_pipeline(simmpi::Comm& comm, const ParticleSet& particles,
                             const PipelineOptions& opt);
 
 /// Compute a single field request from an explicit particle cube — the
-/// kernel invocation shared by the local and received execution paths.
-/// Returns the rendered grid and fills timing in `record`.
+/// kernel invocation shared by the local, received, fallback, and recovery
+/// execution paths. Returns the rendered grid and fills timing in `record`.
+/// Never throws on bad data: a degenerate triangulation, a non-finite input
+/// position, or a non-finite rendered value yields a zero grid with
+/// record.failed set and record.fail_reason explaining why.
 Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
                           const Vec3& center, const PipelineOptions& opt,
                           ItemRecord& record);
+
+/// Re-fetches the particle cube for a field center (the recovery phase's
+/// data source: in-memory extraction or a targeted snapshot re-read).
+using CubeFetcher = std::function<std::vector<Vec3>(const Vec3& center,
+                                                    double side)>;
 
 /// The paper's §IV-B input path: each rank reads an arbitrary subset of the
 /// snapshot's spatially contiguous blocks (round-robin, standing in for the

@@ -2,19 +2,29 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace dtfe {
 
 WorkloadModel fit_workload_model(std::span<const WorkSample> samples) {
   WorkloadModel model;
   std::vector<double> n, tri, interp;
   n.reserve(samples.size());
+  std::size_t tri_usable = 0;
   for (const WorkSample& s : samples) {
     n.push_back(s.n);
     tri.push_back(s.t_tri);
     interp.push_back(s.t_interp);
+    if (s.n >= 2.0 && s.t_tri > 0.0) ++tri_usable;
   }
   model.c_tri = fit_nlogn(n, tri);
+  model.tri_degenerate = tri_usable == 0 || !(model.c_tri > 0.0);
   model.interp = fit_power_law(n, interp);
+  if (model.degenerate() && obs::metrics_enabled()) {
+    static const obs::MetricId fit_degenerate =
+        obs::counter("dtfe.model.fit_degenerate");
+    obs::add(fit_degenerate);
+  }
   return model;
 }
 

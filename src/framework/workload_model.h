@@ -30,6 +30,15 @@ struct WorkSample {
 struct WorkloadModel {
   double c_tri = 0.0;     ///< f_tri(n) = c·n·log2 n
   PowerLawFit interp;     ///< f_interp(n) = α·n^β
+  /// True when the triangulation samples were unusable (no n ≥ 2 with
+  /// t > 0) and c_tri is the fallback constant 0, not a fit.
+  bool tri_degenerate = false;
+
+  /// A degenerate model predicts ~zero cost for every item; the scheduler
+  /// then sees a perfectly balanced fleet and ships nothing. Callers should
+  /// surface this (report / dtfe.model.fit_degenerate) instead of trusting
+  /// the predictions.
+  bool degenerate() const { return tri_degenerate || interp.degenerate; }
 
   double predict_tri(double n) const {
     return n >= 2.0 ? c_tri * n * std::log2(n) : 0.0;

@@ -2,7 +2,64 @@
 
 #include <cmath>
 
+#include "util/error.h"
+
 namespace dtfe {
+
+namespace {
+bool finite3(const Vec3& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z);
+}
+bool in_box(const Vec3& p, double box) {
+  return p.x >= 0.0 && p.x < box && p.y >= 0.0 && p.y < box && p.z >= 0.0 &&
+         p.z < box;
+}
+}  // namespace
+
+SanitizeCounts sanitize_positions(std::vector<Vec3>& positions, double box,
+                                  BadParticlePolicy policy) {
+  DTFE_CHECK_MSG(std::isfinite(box) && box > 0.0,
+                 "sanitize_positions: box length " << box << " is not usable");
+  SanitizeCounts counts;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    Vec3 p = positions[i];
+    const bool finite = finite3(p);
+    const bool inside = finite && in_box(p, box);
+    if (!finite) ++counts.non_finite;
+    else if (!inside) ++counts.out_of_box;
+    switch (policy) {
+      case BadParticlePolicy::kReject:
+        positions[w++] = p;  // keep scanning; throw with full counts below
+        break;
+      case BadParticlePolicy::kDrop:
+        if (finite && inside) positions[w++] = p;
+        else ++counts.dropped;
+        break;
+      case BadParticlePolicy::kClamp:
+        if (!finite) {
+          ++counts.dropped;  // nothing sane to clamp a NaN to
+        } else {
+          if (!inside) {
+            p = wrap_periodic(p, box);
+            ++counts.clamped;
+          }
+          positions[w++] = p;
+        }
+        break;
+    }
+  }
+  positions.resize(w);
+  if (policy == BadParticlePolicy::kReject && counts.bad() > 0) {
+    std::ostringstream os;
+    os << "input contains " << counts.non_finite
+       << " non-finite and " << counts.out_of_box
+       << " out-of-box particle positions (box " << box
+       << "); rerun with --bad-particles=drop or clamp to continue";
+    throw Error(os.str());
+  }
+  return counts;
+}
 
 std::vector<Vec3> extract_cube(const ParticleSet& set, const Vec3& center,
                                double side) {

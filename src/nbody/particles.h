@@ -59,6 +59,29 @@ inline double periodic_dist2(const Vec3& a, const Vec3& b, double box) {
 std::vector<Vec3> extract_cube(const ParticleSet& set, const Vec3& center,
                                double side);
 
+/// What to do with particles whose position is non-finite or outside
+/// [0, box)^3 (real snapshots contain both: sensor glitches, unwrapped
+/// coordinates from the writing code, flipped bits on disk).
+enum class BadParticlePolicy {
+  kReject,  ///< throw dtfe::Error naming the counts (default: fail loudly)
+  kDrop,    ///< remove offending particles
+  kClamp,   ///< wrap out-of-box positions into the box; drop non-finite ones
+};
+
+struct SanitizeCounts {
+  std::size_t non_finite = 0;   ///< NaN/Inf coordinate (always unusable)
+  std::size_t out_of_box = 0;   ///< finite but outside [0, box)^3
+  std::size_t dropped = 0;      ///< removed from the array
+  std::size_t clamped = 0;      ///< wrapped back into the box
+  std::size_t bad() const { return non_finite + out_of_box; }
+};
+
+/// Validate and repair `positions` in place under `policy`. Returns the
+/// tallies; throws dtfe::Error (after scanning everything, so the message
+/// carries full counts) when policy is kReject and any particle is bad.
+SanitizeCounts sanitize_positions(std::vector<Vec3>& positions, double box,
+                                  BadParticlePolicy policy);
+
 /// All positions plus the periodic images within `pad` outside the box on
 /// every side: build a Reconstructor on this to render full-box fields
 /// without convex-hull boundary artifacts (the hull then encloses the whole

@@ -34,7 +34,10 @@ struct SnapshotHeader {
 void write_snapshot(const std::string& path, const ParticleSet& set,
                     std::size_t blocks_per_dim);
 
-/// Read only the header + block table.
+/// Read only the header + block table. Rejects malformed files with a
+/// descriptive dtfe::Error: bad magic, non-finite box/mass, block table
+/// inconsistent with the particle count, or a file too short to hold the
+/// particles the header promises (truncation).
 SnapshotHeader read_snapshot_header(const std::string& path);
 
 /// Read one block's particles (the parallel-read unit).
@@ -44,5 +47,16 @@ std::vector<Vec3> read_snapshot_block(const std::string& path,
 
 /// Read the whole snapshot.
 ParticleSet read_snapshot(const std::string& path);
+
+/// Read every particle within the axis-aligned cube of side `side` centered
+/// on `center` (periodic), touching only the blocks whose sub-volumes
+/// intersect the cube. Positions come back unwrapped into the cube's frame,
+/// like extract_cube. This is the recovery path's targeted re-read: when a
+/// rank dies mid-run, a survivor can refetch just the data for the lost
+/// field items from durable storage instead of needing the dead rank's
+/// memory.
+std::vector<Vec3> read_snapshot_cube(const std::string& path,
+                                     const SnapshotHeader& header,
+                                     const Vec3& center, double side);
 
 }  // namespace dtfe

@@ -86,6 +86,12 @@ void RunReport::add_rank_values(
   for (auto& kv : values) row.values.push_back(std::move(kv));
 }
 
+void RunReport::add_rank_tags(
+    int rank, std::vector<std::pair<std::string, std::string>> tags) {
+  RankRow& row = row_for(rank);
+  for (auto& kv : tags) row.tags.push_back(std::move(kv));
+}
+
 void RunReport::add_summary(std::string key, double value) {
   summary_.emplace_back(std::move(key), value);
 }
@@ -118,6 +124,18 @@ std::string RunReport::to_json() const {
       append_json_string(out, k);
       out += ':';
       append_number(out, v);
+    }
+    if (!r.tags.empty()) {
+      out += ",\"tags\":{";
+      bool first_tag = true;
+      for (const auto& [k, v] : r.tags) {
+        if (!first_tag) out += ',';
+        first_tag = false;
+        append_json_string(out, k);
+        out += ':';
+        append_json_string(out, v);
+      }
+      out += '}';
     }
     out += '}';
   }
@@ -160,6 +178,20 @@ std::string RunReport::to_csv() const {
   for (const RankRow& r : ranks)
     for (const auto& [k, v] : r.values)
       row("phase", std::to_string(r.rank), k, v);
+  for (const RankRow& r : ranks)
+    for (const auto& [k, v] : r.tags) {
+      // String values are quoted (error messages can contain commas).
+      out += "tag,";
+      out += std::to_string(r.rank);
+      out += ',';
+      out += k;
+      out += ",\"";
+      for (const char c : v) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += "\"\n";
+    }
   for (const auto& [k, v] : metrics_.counters) row("counter", "", k, v);
   for (const auto& [k, v] : metrics_.gauges) row("gauge", "", k, v);
   for (const auto& [name, h] : metrics_.histograms) {

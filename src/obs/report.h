@@ -22,6 +22,11 @@ class RunReport {
   void add_rank_values(int rank,
                        std::vector<std::pair<std::string, double>> values);
 
+  /// Per-rank named strings (e.g. item failure reasons, fault descriptions).
+  /// Exported as a "tags" object per rank in JSON and `tag` rows in CSV.
+  void add_rank_tags(int rank,
+                     std::vector<std::pair<std::string, std::string>> tags);
+
   /// Run-level scalars (e.g. ranks, fields, wall seconds).
   void add_summary(std::string key, double value);
 
@@ -37,6 +42,7 @@ class RunReport {
   struct RankRow {
     int rank = 0;
     std::vector<std::pair<std::string, double>> values;
+    std::vector<std::pair<std::string, std::string>> tags;
   };
   RankRow& row_for(int rank);
 

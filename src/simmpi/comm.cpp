@@ -1,11 +1,15 @@
 #include "simmpi/comm.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simmpi/fault.h"
 
 namespace dtfe::simmpi {
 
@@ -32,47 +36,137 @@ const CommMetrics& comm_metrics() {
   static const CommMetrics m;
   return m;
 }
+
+// Injected-fault tallies (README "Fault tolerance").
+struct FaultMetrics {
+  obs::MetricId ranks_killed = obs::counter("dtfe.fault.ranks_killed");
+  obs::MetricId dropped = obs::counter("dtfe.fault.messages_dropped");
+  obs::MetricId truncated = obs::counter("dtfe.fault.messages_truncated");
+  obs::MetricId bitflipped = obs::counter("dtfe.fault.messages_bitflipped");
+  obs::MetricId delayed = obs::counter("dtfe.fault.messages_delayed");
+  obs::MetricId rank_failed =
+      obs::counter("dtfe.fault.rank_failed_notifications");
+};
+
+const FaultMetrics& fault_metrics() {
+  static const FaultMetrics m;
+  return m;
+}
+
+/// Thrown into a rank's thread when the fault plan kills it. Deliberately
+/// NOT derived from dtfe::Error: library catch(const Error&) containment
+/// sites must not swallow an injected death mid-unwind.
+struct RankKilledSignal {};
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
 }  // namespace
 
 class Runtime {
  public:
-  explicit Runtime(int nranks) : boxes_(static_cast<std::size_t>(nranks)) {}
+  using Clock = std::chrono::steady_clock;
+
+  Runtime(int nranks, const FaultPlan* plan)
+      : boxes_(static_cast<std::size_t>(nranks)),
+        dead_(static_cast<std::size_t>(nranks)),
+        seed_(plan ? plan->seed : 1) {
+    if (plan)
+      for (const FaultRule& r : plan->rules) rules_.push_back(LiveRule{r, 0});
+  }
 
   int size() const { return static_cast<int>(boxes_.size()); }
 
+  bool is_dead(int rank) const {
+    return dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+
+  std::vector<int> failed_ranks() const {
+    std::vector<int> out;
+    for (int r = 0; r < size(); ++r)
+      if (is_dead(r)) out.push_back(r);
+    return out;
+  }
+
+  bool any_dead() const {
+    for (int r = 0; r < size(); ++r)
+      if (is_dead(r)) return true;
+    return false;
+  }
+
   void send(int src, int dest, int tag, std::span<const std::byte> data) {
     DTFE_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
+    on_comm_call(src, tag);
+    std::vector<std::byte> payload(data.begin(), data.end());
+    Clock::duration delay{};
+    if (!apply_message_faults(src, dest, tag, payload, delay)) return;
+    if (is_dead(dest)) return;  // no one left to read it
     Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
     {
       std::lock_guard<std::mutex> lock(box.mutex);
       box.queue.push_back(
-          Message{src, tag, std::vector<std::byte>(data.begin(), data.end())});
+          Message{src, tag, std::move(payload), Clock::now() + delay});
     }
     box.cv.notify_all();
   }
 
-  std::vector<std::byte> recv(int me, int source, int tag,
-                              int* actual_source) {
+  /// Shared blocking/bounded receive. `deadline` empty = wait forever (well,
+  /// until a message or the source's death).
+  RecvResult recv(int me, int source, int tag,
+                  std::optional<Clock::time_point> deadline) {
+    on_comm_call(me, tag);
     Mailbox& box = boxes_[static_cast<std::size_t>(me)];
     std::unique_lock<std::mutex> lock(box.mutex);
     for (;;) {
+      const Clock::time_point now = Clock::now();
+      std::optional<Clock::time_point> next_ready;
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-        if ((source == kAnySource || it->src == source) && it->tag == tag) {
-          if (actual_source) *actual_source = it->src;
-          std::vector<std::byte> data = std::move(it->payload);
-          box.queue.erase(it);
-          return data;
+        if ((source != kAnySource && it->src != source) || it->tag != tag)
+          continue;
+        if (it->ready_at > now) {
+          if (!next_ready || it->ready_at < *next_ready)
+            next_ready = it->ready_at;
+          continue;  // delayed delivery: not visible yet
         }
+        RecvResult res;
+        res.status = RecvStatus::kOk;
+        res.source = it->src;
+        res.payload = std::move(it->payload);
+        box.queue.erase(it);
+        return res;
       }
-      box.cv.wait(lock);
+      // Nothing deliverable now. If nothing is even in flight (delayed) and
+      // the awaited peer(s) are dead, report the failure instead of hanging.
+      if (!next_ready) {
+        if (source != kAnySource && is_dead(source))
+          return RecvResult{RecvStatus::kRankFailed, source, {}};
+        if (source == kAnySource && all_others_dead(me))
+          return RecvResult{RecvStatus::kRankFailed, -1, {}};
+      }
+      if (deadline && now >= *deadline)
+        return RecvResult{RecvStatus::kTimeout, -1, {}};
+      std::optional<Clock::time_point> wake = deadline;
+      if (next_ready && (!wake || *next_ready < *wake)) wake = next_ready;
+      if (wake)
+        box.cv.wait_until(lock, *wake);
+      else
+        box.cv.wait(lock);
     }
   }
 
   bool iprobe(int me, int source, int tag) const {
     const Mailbox& box = boxes_[static_cast<std::size_t>(me)];
+    const Clock::time_point now = Clock::now();
     std::lock_guard<std::mutex> lock(box.mutex);
     for (const Message& m : box.queue)
-      if ((source == kAnySource || m.src == source) && m.tag == tag)
+      if ((source == kAnySource || m.src == source) && m.tag == tag &&
+          m.ready_at <= now)
         return true;
     return false;
   }
@@ -82,16 +176,116 @@ class Runtime {
     int src;
     int tag;
     std::vector<std::byte> payload;
+    Clock::time_point ready_at;  ///< delayed-fault delivery time
   };
   struct Mailbox {
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
   };
+  /// A rule plus its match counter. The counter is only ever touched by one
+  /// thread (the victim for kills, the sending rank for message faults), so
+  /// it needs no synchronization.
+  struct LiveRule {
+    FaultRule r;
+    std::uint64_t count = 0;
+    bool fired = false;
+  };
+
+  bool all_others_dead(int me) const {
+    for (int r = 0; r < size(); ++r)
+      if (r != me && !is_dead(r)) return false;
+    return size() > 1;
+  }
+
+  /// Kill check: counts this rank's send/recv ops against matching kill
+  /// rules and, when one fires, marks the rank dead, wakes every blocked
+  /// peer, and unwinds the rank's thread.
+  void on_comm_call(int rank, int tag) {
+    if (rules_.empty()) return;
+    for (LiveRule& lr : rules_) {
+      if (lr.fired || lr.r.action != FaultAction::kKill || lr.r.rank != rank)
+        continue;
+      if (lr.r.tag != -1 && lr.r.tag != tag) continue;
+      if (++lr.count < lr.r.at) continue;
+      lr.fired = true;
+      dead_[static_cast<std::size_t>(rank)].store(true,
+                                                  std::memory_order_release);
+      if (obs::metrics_enabled()) obs::add(fault_metrics().ranks_killed);
+      // Wake everyone: blocked receivers re-check the dead flags. Locking
+      // each mailbox mutex around the notify closes the check-then-wait race.
+      for (Mailbox& box : boxes_) {
+        std::lock_guard<std::mutex> lock(box.mutex);
+        box.cv.notify_all();
+      }
+      throw RankKilledSignal{};
+    }
+  }
+
+  /// Applies drop/trunc/flip/delay rules to one outgoing message. Returns
+  /// false if the message must be discarded.
+  bool apply_message_faults(int src, int dst, int tag,
+                            std::vector<std::byte>& payload,
+                            Clock::duration& delay) {
+    bool keep = true;
+    for (LiveRule& lr : rules_) {
+      if (lr.fired || lr.r.action == FaultAction::kKill) continue;
+      if (lr.r.src != src || lr.r.dst != dst) continue;
+      if (lr.r.tag != -1 && lr.r.tag != tag) continue;
+      if (++lr.count < lr.r.nth) continue;
+      lr.fired = true;
+      const bool metrics = obs::metrics_enabled();
+      switch (lr.r.action) {
+        case FaultAction::kDrop:
+          if (metrics) obs::add(fault_metrics().dropped);
+          keep = false;
+          break;
+        case FaultAction::kTruncate: {
+          const std::size_t n =
+              lr.r.bytes > 0 ? static_cast<std::size_t>(lr.r.bytes)
+                             : payload.size() / 2;
+          payload.resize(std::min(payload.size(), n));
+          if (metrics) obs::add(fault_metrics().truncated);
+          break;
+        }
+        case FaultAction::kBitFlip: {
+          if (payload.empty()) break;
+          const std::uint64_t h = mix64(
+              seed_ ^ mix64((static_cast<std::uint64_t>(src) << 32) ^
+                            static_cast<std::uint64_t>(dst) ^
+                            (lr.count << 16)));
+          const std::size_t b =
+              lr.r.byte >= 0 ? std::min(static_cast<std::size_t>(lr.r.byte),
+                                        payload.size() - 1)
+                             : static_cast<std::size_t>(h % payload.size());
+          const int bit = lr.r.bit >= 0 ? lr.r.bit
+                                        : static_cast<int>((h >> 32) % 8);
+          payload[b] ^= static_cast<std::byte>(1u << bit);
+          if (metrics) obs::add(fault_metrics().bitflipped);
+          break;
+        }
+        case FaultAction::kDelay:
+          delay = std::chrono::milliseconds(lr.r.delay_ms);
+          if (metrics) obs::add(fault_metrics().delayed);
+          break;
+        case FaultAction::kKill:
+          break;  // unreachable
+      }
+    }
+    return keep;
+  }
+
   std::vector<Mailbox> boxes_;
+  std::vector<std::atomic<bool>> dead_;
+  const std::uint64_t seed_;
+  std::vector<LiveRule> rules_;
 };
 
 int Comm::size() const { return rt_->size(); }
+
+bool Comm::rank_failed(int rank) const { return rt_->is_dead(rank); }
+bool Comm::any_rank_failed() const { return rt_->any_dead(); }
+std::vector<int> Comm::failed_ranks() const { return rt_->failed_ranks(); }
 
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
   if (obs::metrics_enabled()) {
@@ -104,13 +298,37 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
 
 std::vector<std::byte> Comm::recv_bytes(int source, int tag,
                                         int* actual_source) {
-  auto data = rt_->recv(rank_, source, tag, actual_source);
+  RecvResult res = rt_->recv(rank_, source, tag, std::nullopt);
+  if (res.status == RecvStatus::kRankFailed) {
+    if (obs::metrics_enabled()) obs::add(fault_metrics().rank_failed);
+    std::ostringstream os;
+    os << "rank " << res.source << " failed while rank " << rank_
+       << " awaited tag " << tag;
+    throw RankFailed(res.source, os.str());
+  }
   if (obs::metrics_enabled()) {
     const CommMetrics& m = comm_metrics();
     obs::add(m.messages_received);
-    obs::add(m.bytes_received, static_cast<double>(data.size()));
+    obs::add(m.bytes_received, static_cast<double>(res.payload.size()));
   }
-  return data;
+  if (actual_source) *actual_source = res.source;
+  return std::move(res.payload);
+}
+
+RecvResult Comm::recv_bytes_timeout(int source, int tag, int timeout_ms) {
+  RecvResult res = rt_->recv(
+      rank_, source, tag,
+      Runtime::Clock::now() + std::chrono::milliseconds(timeout_ms));
+  if (obs::metrics_enabled()) {
+    if (res.status == RecvStatus::kRankFailed) {
+      obs::add(fault_metrics().rank_failed);
+    } else if (res.status == RecvStatus::kOk) {
+      const CommMetrics& m = comm_metrics();
+      obs::add(m.messages_received);
+      obs::add(m.bytes_received, static_cast<double>(res.payload.size()));
+    }
+  }
+  return res;
 }
 
 bool Comm::iprobe(int source, int tag) const {
@@ -119,9 +337,17 @@ bool Comm::iprobe(int source, int tag) const {
 
 void Comm::barrier() {
   // Dissemination-free simple tree-less barrier: gather-to-0 then release.
+  // Dead ranks are skipped; the survivors still synchronize.
   const std::byte token{0};
   if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) (void)recv_bytes(r, kTagBarrier);
+    for (int r = 1; r < size(); ++r) {
+      try {
+        (void)recv_bytes(r, kTagBarrier);
+      } catch (const RankFailed&) {
+        // r died before checking in — released below like everyone else
+        // (the send to it is discarded).
+      }
+    }
     for (int r = 1; r < size(); ++r) send_bytes(r, kTagBarrier, {&token, 1});
   } else {
     send_bytes(0, kTagBarrier, {&token, 1});
@@ -144,26 +370,49 @@ std::vector<std::vector<std::byte>> Comm::allgather_bytes(
   out[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
   for (int r = 0; r < size(); ++r)
     if (r != rank_) send_bytes(r, kTagGather, mine);
-  for (int r = 0; r < size(); ++r)
-    if (r != rank_) out[static_cast<std::size_t>(r)] = recv_bytes(r, kTagGather);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    try {
+      out[static_cast<std::size_t>(r)] = recv_bytes(r, kTagGather);
+    } catch (const RankFailed&) {
+      // dead rank: its slice stays empty
+    }
+  }
   return out;
 }
 
 double Comm::allreduce_sum(double x) {
-  double total = 0.0;
-  for (const double v : allgather(x)) total += v;
+  double total = x;
+  const auto per_rank = allgather_bytes(
+      {reinterpret_cast<const std::byte*>(&x), sizeof(double)});
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (static_cast<int>(r) == rank_ || per_rank[r].size() != sizeof(double))
+      continue;
+    double v;
+    std::memcpy(&v, per_rank[r].data(), sizeof(double));
+    total += v;
+  }
   return total;
 }
 
 double Comm::allreduce_max(double x) {
   double best = x;
-  for (const double v : allgather(x)) best = v > best ? v : best;
+  const auto per_rank = allgather_bytes(
+      {reinterpret_cast<const std::byte*>(&x), sizeof(double)});
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (static_cast<int>(r) == rank_ || per_rank[r].size() != sizeof(double))
+      continue;
+    double v;
+    std::memcpy(&v, per_rank[r].data(), sizeof(double));
+    best = v > best ? v : best;
+  }
   return best;
 }
 
-void run(int nranks, const std::function<void(Comm&)>& fn) {
+void run(int nranks, const RunOptions& opts,
+         const std::function<void(Comm&)>& fn) {
   DTFE_CHECK(nranks >= 1);
-  Runtime rt(nranks);
+  Runtime rt(nranks, opts.fault_plan);
   std::vector<std::thread> threads;
   std::mutex err_mutex;
   std::exception_ptr first_error;
@@ -179,6 +428,8 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
       obs::TraceRecorder::set_thread_rank(r);
       try {
         fn(*comm);
+      } catch (const RankKilledSignal&) {
+        // Injected death: the rank just stops. Not an error of the run.
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -187,6 +438,10 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  run(nranks, RunOptions{}, fn);
 }
 
 }  // namespace dtfe::simmpi

@@ -1,0 +1,125 @@
+#include "simmpi/fault.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace dtfe::simmpi {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::int64_t parse_int(const std::string& clause, const std::string& v) {
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  DTFE_CHECK_MSG(end && *end == '\0' && !v.empty(),
+                 "fault plan: bad integer '" << v << "' in clause '" << clause
+                                             << "'");
+  return x;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      plan.seed = static_cast<std::uint64_t>(
+          parse_int(clause, clause.substr(5)));
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    const std::string action = clause.substr(0, colon);
+    FaultRule rule;
+    if (action == "kill") {
+      rule.action = FaultAction::kKill;
+    } else if (action == "drop") {
+      rule.action = FaultAction::kDrop;
+    } else if (action == "trunc") {
+      rule.action = FaultAction::kTruncate;
+    } else if (action == "flip") {
+      rule.action = FaultAction::kBitFlip;
+    } else if (action == "delay") {
+      rule.action = FaultAction::kDelay;
+    } else {
+      DTFE_CHECK_MSG(false, "fault plan: unknown action '"
+                                << action << "' in clause '" << clause << "'");
+    }
+    if (colon != std::string::npos) {
+      for (const std::string& kv : split(clause.substr(colon + 1), ',')) {
+        const std::size_t eq = kv.find('=');
+        DTFE_CHECK_MSG(eq != std::string::npos,
+                       "fault plan: expected key=value, got '"
+                           << kv << "' in clause '" << clause << "'");
+        const std::string key = kv.substr(0, eq);
+        const std::int64_t val = parse_int(clause, kv.substr(eq + 1));
+        if (key == "rank") {
+          rule.rank = static_cast<int>(val);
+        } else if (key == "at") {
+          rule.at = static_cast<std::uint64_t>(val);
+        } else if (key == "src") {
+          rule.src = static_cast<int>(val);
+        } else if (key == "dst") {
+          rule.dst = static_cast<int>(val);
+        } else if (key == "nth") {
+          rule.nth = static_cast<std::uint64_t>(val);
+        } else if (key == "tag") {
+          rule.tag = static_cast<int>(val);
+        } else if (key == "bytes") {
+          rule.bytes = static_cast<std::uint64_t>(val);
+        } else if (key == "byte") {
+          rule.byte = val;
+        } else if (key == "bit") {
+          rule.bit = static_cast<int>(val);
+        } else if (key == "ms") {
+          rule.delay_ms = static_cast<std::uint64_t>(val);
+        } else {
+          DTFE_CHECK_MSG(false, "fault plan: unknown key '"
+                                    << key << "' in clause '" << clause
+                                    << "'");
+        }
+      }
+    }
+    if (rule.action == FaultAction::kKill) {
+      DTFE_CHECK_MSG(rule.rank >= 0, "fault plan: kill needs rank= in clause '"
+                                         << clause << "'");
+      DTFE_CHECK_MSG(rule.at >= 1,
+                     "fault plan: kill at= is 1-based in clause '" << clause
+                                                                   << "'");
+    } else {
+      DTFE_CHECK_MSG(rule.src >= 0 && rule.dst >= 0,
+                     "fault plan: message fault needs src= and dst= in clause '"
+                         << clause << "'");
+      DTFE_CHECK_MSG(rule.nth >= 1,
+                     "fault plan: nth= is 1-based in clause '" << clause
+                                                               << "'");
+      if (rule.action == FaultAction::kDelay)
+        DTFE_CHECK_MSG(rule.delay_ms > 0,
+                       "fault plan: delay needs ms= in clause '" << clause
+                                                                 << "'");
+      if (rule.action == FaultAction::kBitFlip)
+        DTFE_CHECK_MSG(rule.bit < 8,
+                       "fault plan: flip bit= must be 0-7 in clause '"
+                           << clause << "'");
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+}  // namespace dtfe::simmpi

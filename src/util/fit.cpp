@@ -64,7 +64,10 @@ PowerLawFit fit_power_law(std::span<const double> n, std::span<const double> t,
       lt.push_back(std::log(t[i]));
     }
   }
-  if (ln.size() < 2) return fit;
+  if (ln.size() < 2) {
+    fit.degenerate = true;
+    return fit;
+  }
   const LinearFit lin = fit_linear(ln, lt);
   double alpha = std::exp(lin.intercept);
   double beta = lin.slope;

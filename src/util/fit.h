@@ -25,6 +25,11 @@ struct PowerLawFit {
   double beta = 0.0;
   int iterations = 0;   ///< Gauss–Newton iterations actually performed.
   bool converged = false;
+  /// True when the input had < 2 usable (n > 0, t > 0) samples and the
+  /// returned coefficients are fallback constants, not a fit. Callers that
+  /// schedule work off these predictions must check this — a degenerate
+  /// "fit" predicts zero cost for everything.
+  bool degenerate = false;
 };
 
 /// Fits α·n^β with Gauss–Newton; the initial guess comes from an OLS fit of

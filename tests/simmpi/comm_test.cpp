@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
 #include <vector>
+
+#include "simmpi/fault.h"
 
 namespace dtfe::simmpi {
 namespace {
@@ -161,6 +165,196 @@ TEST(SimMpi, ManyRanksStress) {
     c.send_value(next, 1, c.rank());
     EXPECT_EQ(c.recv_value<int>(prev, 1), prev);
     EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 64.0);
+  });
+}
+
+// ---- fault injection (simmpi/fault.h) --------------------------------------
+
+TEST(SimMpiFault, KillSurfacesAsRankFailedOnBoundedRecvWithinTimeout) {
+  const FaultPlan plan = FaultPlan::parse("kill:rank=1,at=1");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(2, opts, [](Comm& c) {
+    if (c.rank() == 1) {
+      c.send_value(0, 7, 1);  // first comm op: the kill fires here
+      ADD_FAILURE() << "rank 1 should have been killed";
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      const RecvResult r = c.recv_bytes_timeout(1, 7, 30000);
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_EQ(r.status, RecvStatus::kRankFailed);
+      EXPECT_EQ(r.source, 1);
+      // The death is a notification, not a 30 s timeout expiry.
+      EXPECT_LT(waited, 5.0);
+      EXPECT_TRUE(c.rank_failed(1));
+      EXPECT_TRUE(c.any_rank_failed());
+      EXPECT_EQ(c.failed_ranks(), std::vector<int>{1});
+    }
+  });
+}
+
+TEST(SimMpiFault, KillSurfacesAsRankFailedOnBlockingRecv) {
+  const FaultPlan plan = FaultPlan::parse("kill:rank=1,at=1");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(2, opts, [](Comm& c) {
+    if (c.rank() == 1) {
+      c.send_value(0, 7, 1);  // dies
+    } else {
+      try {
+        (void)c.recv_value<int>(1, 7);
+        ADD_FAILURE() << "expected RankFailed";
+      } catch (const RankFailed& e) {
+        EXPECT_EQ(e.failed_rank(), 1);
+        EXPECT_NE(std::string(e.what()).find("rank 1 failed"),
+                  std::string::npos);
+      }
+    }
+  });
+}
+
+TEST(SimMpiFault, KillCountsOnlyMatchingTagOps) {
+  // Rank 1 dies entering its SECOND tag-5 operation; tag-4 traffic before it
+  // is unaffected and the first tag-5 message is delivered.
+  const FaultPlan plan = FaultPlan::parse("kill:rank=1,tag=5,at=2");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(2, opts, [](Comm& c) {
+    if (c.rank() == 1) {
+      c.send_value(0, 4, 40);
+      c.send_value(0, 5, 50);
+      c.send_value(0, 5, 51);  // dies on entry, nothing enqueued
+      ADD_FAILURE() << "rank 1 should have been killed";
+    } else {
+      EXPECT_EQ(c.recv_value<int>(1, 4), 40);
+      EXPECT_EQ(c.recv_value<int>(1, 5), 50);
+      const RecvResult r = c.recv_bytes_timeout(1, 5, 30000);
+      EXPECT_EQ(r.status, RecvStatus::kRankFailed);
+    }
+  });
+}
+
+TEST(SimMpiFault, DropLeavesReceiverWithTimeout) {
+  const FaultPlan plan = FaultPlan::parse("drop:src=0,dst=1,nth=1,tag=7");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(2, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 7, 1);  // dropped in flight
+      c.send_value(1, 8, 2);  // unaffected
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 8), 2);
+      const RecvResult r = c.recv_bytes_timeout(0, 7, 150);
+      EXPECT_EQ(r.status, RecvStatus::kTimeout);
+    }
+  });
+}
+
+TEST(SimMpiFault, TruncatedVectorReportsRankSourceTagAndSizes) {
+  // satellite: the size-mismatch error must name rank, source, tag, and the
+  // delivered vs expected byte counts.
+  const FaultPlan plan = FaultPlan::parse("trunc:src=0,dst=1,nth=1,tag=3");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  try {
+    run(2, opts, [](Comm& c) {
+      if (c.rank() == 0) {
+        const std::vector<double> v = {1.0, 2.0, 3.0};
+        c.send_vector<double>(1, 3, v);  // 24 bytes, truncated to 12
+      } else {
+        (void)c.recv_vector<double>(0, 3);
+      }
+    });
+    FAIL() << "expected a size-mismatch Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv_vector size mismatch on rank 1"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("source 0 tag 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("12 bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("multiple of 8"), std::string::npos) << what;
+  }
+}
+
+TEST(SimMpiFault, TruncatedValueReportsExpectedByteCount) {
+  const FaultPlan plan = FaultPlan::parse("trunc:src=0,dst=1,nth=1,tag=3,bytes=2");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  try {
+    run(2, opts, [](Comm& c) {
+      if (c.rank() == 0) {
+        c.send_value(1, 3, 42);
+      } else {
+        (void)c.recv_value<int>(0, 3);
+      }
+    });
+    FAIL() << "expected a size-mismatch Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv_value size mismatch on rank 1"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("delivered 2 bytes, expected exactly 4"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(SimMpiFault, BitFlipCorruptsThePinnedBit) {
+  const FaultPlan plan =
+      FaultPlan::parse("flip:src=0,dst=1,nth=1,tag=2,byte=0,bit=0");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(2, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 2, 0x10);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 2), 0x11);
+    }
+  });
+}
+
+TEST(SimMpiFault, DelayHoldsDeliveryBack) {
+  const FaultPlan plan = FaultPlan::parse("delay:src=0,dst=1,nth=1,tag=9,ms=400");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(2, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();
+      c.send_value(1, 9, 99);
+    } else {
+      c.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_EQ(c.recv_value<int>(0, 9), 99);
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_GT(waited, 0.15);  // held back, not delivered eagerly
+    }
+  });
+}
+
+TEST(SimMpiFault, CollectivesTreatDeadRankAsAbsent) {
+  const FaultPlan plan = FaultPlan::parse("kill:rank=2,at=1");
+  RunOptions opts;
+  opts.fault_plan = &plan;
+  run(4, opts, [](Comm& c) {
+    if (c.rank() == 2) {
+      c.send_value(0, 50, 1);  // dies before anything is enqueued
+      return;
+    }
+    c.barrier();  // survivors still synchronize
+    const auto all = c.allgather(c.rank() * 3);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0], 0);
+    EXPECT_EQ(all[1], 3);
+    EXPECT_EQ(all[2], 0);  // dead rank: value-initialized slot
+    EXPECT_EQ(all[3], 9);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank())), 3.0);
   });
 }
 
