@@ -33,7 +33,9 @@
 #include <string>
 
 #include "core/dtfe.h"
+#include "dtfe/audit.h"
 #include "dtfe/lensing.h"
+#include "framework/crash.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -203,8 +205,14 @@ int cmd_render(const CliArgs& args) {
 int cmd_pipeline(const CliArgs& args) {
   args.check_known({"in", "ranks", "fields", "length", "grid", "balance",
                     "metrics-out", "trace-out", "report", "fault-plan",
-                    "max-retries", "comm-timeout-ms", "bad-particles"});
+                    "max-retries", "comm-timeout-ms", "bad-particles",
+                    "checkpoint-dir", "resume", "item-deadline-ms", "audit",
+                    "audit-fatal"});
   ObsSession obs_session(args);
+  // Crash diagnostics are on from the first byte read: a hard fault anywhere
+  // in the run prints the in-flight items and a backtrace. Re-invoked below
+  // once the report prefix is known, to arm the partial-report flush.
+  install_crash_handler();
   const std::string path = args.get("in", std::string{});
   const int ranks = static_cast<int>(args.get("ranks", 8L));
   const auto n_fields = static_cast<std::size_t>(args.get("fields", 64L));
@@ -234,6 +242,29 @@ int cmd_pipeline(const CliArgs& args) {
     std::fprintf(stderr, "unknown --bad-particles %s\n", bad.c_str());
     return 2;
   }
+  // Durable execution (README "Durable execution & audits").
+  opt.checkpoint_dir = args.get("checkpoint-dir", std::string{});
+  opt.resume = args.get("resume", 0L) != 0;
+  if (opt.resume && opt.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+    return 2;
+  }
+  const std::string deadline_arg =
+      args.get("item-deadline-ms", std::string{});
+  if (deadline_arg == "auto")
+    opt.item_deadline_ms = 0.0;  // derive from the fitted cost model
+  else if (!deadline_arg.empty())
+    opt.item_deadline_ms = std::strtod(deadline_arg.c_str(), nullptr);
+  try {
+    opt.audit.level = parse_audit_level(args.get("audit", std::string{"off"}));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  opt.audit_fatal = args.get("audit-fatal", 0L) != 0;
+  install_crash_handler(obs_session.report_prefix.empty()
+                            ? std::string{}
+                            : obs_session.report_prefix + ".crash.json");
   const simmpi::FaultPlan plan =
       simmpi::FaultPlan::parse(args.get("fault-plan", std::string{}));
   simmpi::RunOptions run_opts;
@@ -244,12 +275,15 @@ int cmd_pipeline(const CliArgs& args) {
   std::mutex mtx;
   RunningStats busy;
   obs::RunReport report;
+  set_crash_report(&report);  // flushed (partially filled) on a hard fault
   WallTimer wall;
   // Aggregated across surviving ranks: which global field requests were
   // completed (and their grid checksums), plus the fault tallies.
   std::map<std::ptrdiff_t, double> field_sums;
   std::size_t tot_failed = 0, tot_fallback = 0, tot_recovered = 0;
   std::size_t tot_retries = 0, tot_lost = 0;
+  std::size_t tot_replayed = 0, tot_cancelled = 0, tot_audit_violations = 0;
+  std::size_t tot_audited = 0;
   SanitizeCounts bad_counts;
   std::set<int> dead_ranks;
   bool model_degenerate = false;
@@ -263,6 +297,9 @@ int cmd_pipeline(const CliArgs& args) {
     tot_recovered += res.items_recovered;
     tot_retries += res.package_retries;
     tot_lost += res.packages_lost;
+    tot_replayed += res.items_replayed;
+    tot_cancelled += res.items_cancelled;
+    tot_audit_violations += res.audit_violations;
     bad_counts.non_finite += res.bad_particles.non_finite;
     bad_counts.out_of_box += res.bad_particles.out_of_box;
     bad_counts.dropped += res.bad_particles.dropped;
@@ -272,9 +309,24 @@ int cmd_pipeline(const CliArgs& args) {
     std::vector<std::pair<std::string, std::string>> tags;
     for (const ItemRecord& it : res.items) {
       if (it.request_index >= 0) field_sums[it.request_index] = it.grid_sum;
+      const std::string id = std::to_string(it.request_index);
       if (it.failed)
-        tags.emplace_back(
-            "item_fail_" + std::to_string(it.request_index), it.fail_reason);
+        tags.emplace_back("item_fail_" + id, it.fail_reason);
+      if (it.cancelled) tags.emplace_back("item_cancelled_" + id, "deadline");
+      if (it.replayed) tags.emplace_back("item_replayed_" + id, "checkpoint");
+      // Per-item kernel health (dtfe.kernel.* counters broken out by item).
+      if (!it.replayed && !it.failed)
+        tags.emplace_back("item_kernel_" + id,
+                          "failed_cells=" +
+                              std::to_string(static_cast<long long>(
+                                  it.kernel_failed_cells)) +
+                              ";perturb_restarts=" +
+                              std::to_string(static_cast<long long>(
+                                  it.kernel_perturb_restarts)));
+      if (!it.audit.empty()) {
+        ++tot_audited;
+        tags.emplace_back("item_audit_" + id, it.audit);
+      }
     }
     if (!tags.empty()) report.add_rank_tags(comm.rank(), std::move(tags));
     report.add_rank_values(comm.rank(),
@@ -308,6 +360,15 @@ int cmd_pipeline(const CliArgs& args) {
               "fallback %zu, retries %zu)\n",
               field_sums.size(), centers.size(), tot_failed, tot_recovered,
               tot_fallback, tot_retries);
+  if (!opt.checkpoint_dir.empty())
+    std::printf("checkpoint: %zu item(s) replayed from %s\n", tot_replayed,
+                opt.checkpoint_dir.c_str());
+  if (opt.item_deadline_ms >= 0.0)
+    std::printf("watchdog: %zu item(s) cancelled\n", tot_cancelled);
+  if (opt.audit.level != AuditLevel::kOff)
+    std::printf("audit (%s): %zu item(s) audited, %zu violation(s)\n",
+                audit_level_name(opt.audit.level), tot_audited,
+                tot_audit_violations);
   std::printf("grid checksum total: %.9e\n", checksum_total);
   if (!dead_ranks.empty()) {
     std::printf("ranks failed:");
@@ -334,6 +395,11 @@ int cmd_pipeline(const CliArgs& args) {
                        static_cast<double>(bad_counts.clamped));
     report.add_summary("ranks_failed", static_cast<double>(dead_ranks.size()));
     report.add_summary("model_degenerate", model_degenerate ? 1.0 : 0.0);
+    report.add_summary("items_replayed", static_cast<double>(tot_replayed));
+    report.add_summary("items_cancelled", static_cast<double>(tot_cancelled));
+    report.add_summary("items_audited", static_cast<double>(tot_audited));
+    report.add_summary("audit_violations",
+                       static_cast<double>(tot_audit_violations));
     report.add_summary("grid_checksum_total", checksum_total);
     report.set_metrics(snap);
     const std::string jpath = obs_session.report_prefix + ".json";
@@ -344,6 +410,7 @@ int cmd_pipeline(const CliArgs& args) {
       std::fprintf(stderr, "pdtfe: cannot write report %s/.csv\n",
                    jpath.c_str());
   }
+  set_crash_report(nullptr);  // report goes out of scope below
   return 0;
 }
 

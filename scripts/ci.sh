@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Offline CI entry point — everything the GitHub workflow runs, runnable
+# locally with no network access:
+#
+#   1. configure + build the default tree and run the full tier-1 ctest suite;
+#   2. rebuild under ThreadSanitizer (DTFE_SANITIZE=thread) and run the
+#      concurrency-sensitive suites — the fault-injection and durable-execution
+#      labels — against that build.
+#
+# usage: ci.sh [--skip-tsan] [--jobs N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+SKIP_TSAN=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --skip-tsan) SKIP_TSAN=1; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build (build/, $JOBS jobs)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "== tier-1: full ctest suite"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [ "$SKIP_TSAN" -eq 1 ]; then
+  echo "== tsan: skipped (--skip-tsan)"
+  exit 0
+fi
+
+echo "== tsan: configure + build (build-thread/, DTFE_SANITIZE=thread)"
+cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDTFE_SANITIZE=thread >/dev/null
+cmake --build build-thread -j"$JOBS"
+
+echo "== tsan: fault + durable labels"
+# TSAN_OPTIONS: fail the job on any report; second_deadlock_stack aids triage.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir build-thread --output-on-failure -L 'fault|durable'
+
+echo "== ci: all green"

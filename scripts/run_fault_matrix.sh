@@ -6,6 +6,11 @@
 #       job), and
 #   (c) reproduces the fault-free total grid checksum (relative 1e-6).
 #
+# A resume column then re-runs the kill scenario with --checkpoint-dir,
+# deletes one journal to simulate crash data loss, and asserts that the
+# `--resume` run replays the surviving commits and reproduces the baseline
+# checksum EXACTLY (checkpoint restarts are bitwise deterministic).
+#
 # usage: run_fault_matrix.sh [pdtfe-binary] [--sanitize thread|address]
 #
 # With --sanitize the script configures and builds build-<san>/ with
@@ -64,12 +69,13 @@ PLANS=(
   "kill:rank=5,tag=200,at=1;drop:src=7,dst=1,nth=1,tag=200"
 )
 
-run_pipeline() { # $1 ranks, $2 fault plan ("" = none) -> stdout of pdtfe
+run_pipeline() { # $1 ranks, $2 fault plan ("" = none), rest extra args
   local ranks="$1" plan="$2"
+  shift 2
   local -a extra=()
   [ -n "$plan" ] && extra=(--fault-plan "$plan")
   "$PDTFE" pipeline --in "$SNAP" --ranks "$ranks" --fields 24 --length 5 \
-      --grid 48 --comm-timeout-ms 500 --max-retries 3 "${extra[@]}"
+      --grid 48 --comm-timeout-ms 500 --max-retries 3 "${extra[@]}" "$@"
 }
 
 completed_of() { # parses "fields completed: X/Y ..." -> "X Y"
@@ -116,6 +122,42 @@ for ranks in 4 8; do
     fi
     echo "   ok [$ranks ranks] '$plan'"
   done
+
+  # Resume column: a checkpointed run interrupted by a rank kill, one journal
+  # lost to the "crash", then a --resume run that must replay the surviving
+  # commits, recompute the rest, and land on the baseline checksum EXACTLY.
+  CKPT="$TMP/ckpt-$ranks"
+  rm -rf "$CKPT"
+  if ! out="$(run_pipeline "$ranks" "kill:rank=1,tag=200,at=1" \
+                  --checkpoint-dir "$CKPT" --audit cheap)"; then
+    echo "FAIL [$ranks ranks] resume: checkpointed kill run exited nonzero"
+    failures=$((failures + 1))
+  else
+    lost="$(ls "$CKPT"/journal-rank-*.ckpt 2>/dev/null | head -1)"
+    [ -n "$lost" ] && rm -f "$lost"
+    if ! out="$(run_pipeline "$ranks" "" \
+                    --checkpoint-dir "$CKPT" --resume 1 --audit cheap)"; then
+      echo "FAIL [$ranks ranks] resume: --resume run exited nonzero"
+      failures=$((failures + 1))
+    else
+      read -r completed total <<<"$(completed_of "$out")"
+      checksum="$(checksum_of "$out")"
+      replayed="$(printf '%s\n' "$out" | sed -n 's|^checkpoint: \([0-9]*\) item(s) replayed.*|\1|p')"
+      if [ "$completed" != "$total" ] || [ "$total" != "$base_total" ]; then
+        echo "FAIL [$ranks ranks] resume: $completed/$total fields completed"
+        failures=$((failures + 1))
+      elif [ "${replayed:-0}" -eq 0 ]; then
+        echo "FAIL [$ranks ranks] resume: no items replayed from checkpoints"
+        failures=$((failures + 1))
+      elif [ "$checksum" != "$base_checksum" ]; then
+        # Exact string equality: resumed runs are bitwise deterministic.
+        echo "FAIL [$ranks ranks] resume: checksum $checksum != $base_checksum"
+        failures=$((failures + 1))
+      else
+        echo "   ok [$ranks ranks] resume ($replayed replayed, checksum exact)"
+      fi
+    fi
+  fi
 done
 
 if [ "$failures" -gt 0 ]; then

@@ -26,6 +26,7 @@
 
 #include "geometry/ray_tetra.h"
 #include "geometry/vec3.h"
+#include "util/cancel.h"
 
 namespace dtfe {
 
@@ -35,6 +36,9 @@ using CellId = std::int32_t;
 struct TriangulationOptions {
   bool spatial_sort = true;  ///< Morton-order the insertion sequence
   bool verify = false;       ///< run full validation after build (tests)
+  /// Cooperative cancellation (borrowed; may be null = never cancel). The
+  /// incremental insertion loop polls it and throws dtfe::Error on expiry.
+  const Deadline* deadline = nullptr;
 };
 
 class Triangulation {

@@ -1,0 +1,179 @@
+#include "dtfe/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dtfe/marching_kernel.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dtfe {
+
+namespace {
+
+struct AuditMetrics {
+  obs::MetricId items = obs::counter("dtfe.audit.items_audited");
+  obs::MetricId violations = obs::counter("dtfe.audit.violations");
+  obs::MetricId non_finite = obs::counter("dtfe.audit.non_finite");
+  obs::MetricId negative = obs::counter("dtfe.audit.negative");
+  obs::MetricId mass = obs::counter("dtfe.audit.mass_mismatch");
+  obs::MetricId spot = obs::counter("dtfe.audit.spot_mismatch");
+};
+
+const AuditMetrics& audit_metrics() {
+  static const AuditMetrics m;
+  return m;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Walking-route column integral at ξ: locate each fixed z plane with the
+/// stochastic walk and evaluate the linear interpolant there — the 3D-grid
+/// baseline's semantics (paper Eq. 4), restricted to one column.
+double walking_column(const DensityField& density, const Vec2& xi, double zmin,
+                      double zmax, int nz, std::uint64_t& rng) {
+  const Triangulation& tri = density.triangulation();
+  const double dz = (zmax - zmin) / static_cast<double>(nz);
+  double sigma = 0.0;
+  CellId hint = Triangulation::kNoCell;
+  for (int k = 0; k < nz; ++k) {
+    const Vec3 p{xi.x, xi.y, zmin + (static_cast<double>(k) + 0.5) * dz};
+    const auto loc = tri.locate_from(p, hint, rng);
+    if (loc.status == Triangulation::LocateStatus::kInside) {
+      hint = loc.cell;
+      sigma += density.interpolate_in_cell(loc.cell, p) * dz;
+    } else if (loc.status == Triangulation::LocateStatus::kOnVertex) {
+      sigma += density.vertex_density(loc.vertex) * dz;
+    }
+    // kOutsideHull contributes zero, matching the march's empty intervals.
+  }
+  return sigma;
+}
+
+}  // namespace
+
+AuditLevel parse_audit_level(const std::string& s) {
+  if (s == "off") return AuditLevel::kOff;
+  if (s == "cheap") return AuditLevel::kCheap;
+  if (s == "full") return AuditLevel::kFull;
+  throw Error("unknown audit level '" + s + "' (want off|cheap|full)");
+}
+
+const char* audit_level_name(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kCheap: return "cheap";
+    case AuditLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+std::string AuditResult::summary() const {
+  if (violations.empty()) return "pass";
+  std::string s;
+  for (const AuditFinding& f : violations) {
+    if (!s.empty()) s += ';';
+    s += f.check;
+  }
+  return s;
+}
+
+AuditResult audit_field_item(const Grid2D& grid, const FieldSpec& spec,
+                             double ray_mass, const DensityField* density,
+                             const HullProjection* hull,
+                             const AuditOptions& opt) {
+  AuditResult res;
+  if (opt.level == AuditLevel::kOff) return res;
+
+  // (a) non-finite and (b) negativity scans over the committed grid.
+  ++res.checks_run;
+  std::size_t bad_finite = 0, bad_negative = 0;
+  std::size_t first_bad = grid.size();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double v = grid.flat(i);
+    if (!std::isfinite(v)) {
+      if (++bad_finite == 1) first_bad = i;
+    } else if (v < 0.0) {
+      if (++bad_negative == 1 && first_bad == grid.size()) first_bad = i;
+    }
+  }
+  if (bad_finite > 0)
+    res.violations.push_back(
+        {"non_finite", std::to_string(bad_finite) + " non-finite cells (first flat index " +
+                           std::to_string(first_bad) + ")"});
+  ++res.checks_run;
+  if (bad_negative > 0)
+    res.violations.push_back(
+        {"negative", std::to_string(bad_negative) +
+                         " negative cells (interpolant of positive densities "
+                         "cannot be negative)"});
+
+  // (c) mass conservation: grid sum vs the kernel's independent terminal-ray
+  // re-accumulation. Skipped when the producing kernel gave no ray mass.
+  if (std::isfinite(ray_mass) && bad_finite == 0) {
+    ++res.checks_run;
+    const double gsum = grid.sum();
+    const double scale = std::max(std::abs(ray_mass), std::abs(gsum));
+    const double rel = scale > 0.0 ? std::abs(gsum - ray_mass) / scale : 0.0;
+    if (rel > opt.mass_rel_tol)
+      res.violations.push_back(
+          {"mass", "grid sum " + fmt(gsum) + " vs ray mass " + fmt(ray_mass) +
+                       " (rel " + fmt(rel) + " > tol " + fmt(opt.mass_rel_tol) +
+                       ")"});
+  }
+
+  // full: equal-cells spot check — marching (z_samples mode) vs walking at
+  // the SAME fixed z planes (paper Fig. 6 protocol).
+  if (opt.level == AuditLevel::kFull && density != nullptr && hull != nullptr &&
+      std::isfinite(spec.zmin) && std::isfinite(spec.zmax)) {
+    MarchingOptions mo;
+    mo.z_samples = opt.spot_z_samples;
+    mo.seed = opt.seed;
+    const MarchingKernel march(*density, *hull, mo);
+    std::uint64_t rng = opt.seed ? opt.seed : 0x5eedf00dULL;
+    for (int s = 0; s < opt.spot_checks; ++s) {
+      ++res.checks_run;
+      const std::size_t ix =
+          static_cast<std::size_t>(detail::splitmix64(rng) % spec.nx());
+      const std::size_t iy =
+          static_cast<std::size_t>(detail::splitmix64(rng) % spec.ny());
+      const Vec2 xi = spec.cell_center(ix, iy);
+      const double via_march = march.integrate_line(xi, spec.zmin, spec.zmax);
+      std::uint64_t walk_rng = detail::splitmix64(rng);
+      const double via_walk = walking_column(*density, xi, spec.zmin,
+                                             spec.zmax, opt.spot_z_samples,
+                                             walk_rng);
+      const double scale =
+          std::max({std::abs(via_march), std::abs(via_walk), 1e-300});
+      const double rel = std::abs(via_march - via_walk) / scale;
+      if (rel > opt.spot_rel_tol)
+        res.violations.push_back(
+            {"spot", "cell (" + std::to_string(ix) + "," + std::to_string(iy) +
+                         "): march " + fmt(via_march) + " vs walk " +
+                         fmt(via_walk) + " (rel " + fmt(rel) + ")"});
+    }
+  }
+
+  if (obs::metrics_enabled()) {
+    const AuditMetrics& m = audit_metrics();
+    obs::add(m.items);
+    if (!res.violations.empty())
+      obs::add(m.violations, static_cast<double>(res.violations.size()));
+    for (const AuditFinding& f : res.violations) {
+      if (f.check == "non_finite") obs::add(m.non_finite);
+      else if (f.check == "negative") obs::add(m.negative);
+      else if (f.check == "mass") obs::add(m.mass);
+      else if (f.check == "spot") obs::add(m.spot);
+    }
+  }
+  return res;
+}
+
+}  // namespace dtfe

@@ -18,6 +18,7 @@
 #include "delaunay/hull_projection.h"
 #include "dtfe/density.h"
 #include "dtfe/field.h"
+#include "util/cancel.h"
 
 namespace dtfe {
 
@@ -51,7 +52,14 @@ struct MarchingOptions {
   /// methods "locate and interpolate exactly the same number of grid cells";
   /// the marching kernel amortizes location over whole tetra intervals.
   int z_samples = 0;
+  /// Stream seed. Per-ray RNG states are derived from (seed, ray index) by
+  /// splitmix, so a render is bitwise deterministic regardless of OpenMP
+  /// scheduling; the pipeline folds the work item's identity into this seed
+  /// so resumed runs replay identical perturbation sequences.
   std::uint64_t seed = 12345;
+  /// Cooperative cancellation (borrowed; may be null = never cancel).
+  /// render() throws dtfe::Error once the deadline expires.
+  const Deadline* deadline = nullptr;
 };
 
 struct MarchingStats {
@@ -61,6 +69,11 @@ struct MarchingStats {
   std::uint64_t perturb_restarts = 0;    ///< degenerate marches restarted
   std::uint64_t failed_cells = 0;        ///< cells that hit the retry cap
   std::uint64_t empty_cells = 0;         ///< ξ outside the hull silhouette
+  /// Independent re-accumulation of every terminal ray's integral (weighted
+  /// by its share of its 2D cell). In exact arithmetic this equals the sum
+  /// of the rendered grid's values; the audit layer compares the two to
+  /// catch grid-assembly corruption (see dtfe/audit.h).
+  double ray_mass = 0.0;
   std::vector<double> thread_seconds;    ///< per-OpenMP-thread busy time
 };
 
@@ -94,9 +107,11 @@ class MarchingKernel {
   LineResult march_line(Vec2 xi, double zmin, double zmax,
                         std::uint64_t& rng) const;
   /// Adaptive (quadtree) estimate of the mean surface density over the
-  /// square cell centered at `center` with side `size`.
+  /// square cell centered at `center` with side `size`. `weight` is this
+  /// node's share of the top-level 2D cell (1.0 at the root), used to
+  /// accumulate MarchingStats::ray_mass from terminal samples only.
   double refine_cell(const Vec2& center, double size, double zmin, double zmax,
-                     int depth, std::uint64_t& rng,
+                     int depth, double weight, std::uint64_t& rng,
                      MarchingStats* accum) const;
 
   const DensityField* density_;

@@ -4,6 +4,7 @@
 
 #include <omp.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "util/error.h"
@@ -143,6 +144,7 @@ Grid2D TessKernel::render(const FieldSpec& spec) const {
   stats.thread_seconds.assign(
       static_cast<std::size_t>(omp_get_max_threads()), 0.0);
   std::uint64_t located = 0;
+  std::atomic<bool> cancelled{false};
 
 #pragma omp parallel reduction(+ : located)
   {
@@ -154,6 +156,13 @@ Grid2D TessKernel::render(const FieldSpec& spec) const {
 #pragma omp for schedule(dynamic, 8)
     for (std::ptrdiff_t idx = 0;
          idx < static_cast<std::ptrdiff_t>(nx * ny); ++idx) {
+      // Cooperative watchdog (see marching_kernel.cpp for the pattern).
+      if (opt_.deadline &&
+          (cancelled.load(std::memory_order_relaxed) ||
+           ((idx & 15) == 0 && opt_.deadline->expired()))) {
+        cancelled.store(true, std::memory_order_relaxed);
+        continue;
+      }
       const auto ix = static_cast<std::size_t>(idx) % nx;
       const auto iy = static_cast<std::size_t>(idx) / nx;
       const Vec2 xi = spec.cell_center(ix, iy);
@@ -180,6 +189,8 @@ Grid2D TessKernel::render(const FieldSpec& spec) const {
   stats.points_located = located;
   stats_.thread_seconds = stats.thread_seconds;
   stats_.points_located = located;
+  if (cancelled.load(std::memory_order_relaxed))
+    throw Error("tess render cancelled: item deadline exceeded");
   return grid;
 }
 

@@ -22,12 +22,16 @@
 
 #include "dtfe/density.h"
 #include "dtfe/field.h"
+#include "util/cancel.h"
 
 namespace dtfe {
 
 struct TessOptions {
   std::size_t z_resolution = 0;  ///< 0 = match the 2D resolution
   std::uint64_t seed = 777;
+  /// Cooperative cancellation (borrowed; may be null = never cancel).
+  /// render() throws dtfe::Error once the deadline expires.
+  const Deadline* deadline = nullptr;
 };
 
 struct TessStats {

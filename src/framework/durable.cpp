@@ -1,0 +1,191 @@
+#include "framework/durable.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "util/error.h"
+
+namespace dtfe {
+
+namespace {
+
+// "DTFECKP1" little-endian: the per-record magic. Bump the trailing digit on
+// any layout change — mismatched journals are then ignored, not misread.
+constexpr std::uint64_t kRecordMagic = 0x31504B4345465444ull;
+
+namespace fs = std::filesystem;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double get_f64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::string journal_name(int rank) {
+  return "journal-rank-" + std::to_string(rank) + ".ckpt";
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& dir, int rank) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // ok if it already exists
+  path_ = (fs::path(dir) / journal_name(rank)).string();
+  FILE* f = std::fopen(path_.c_str(), "ab");
+  DTFE_CHECK_MSG(f != nullptr, "cannot open checkpoint journal " + path_);
+  file_ = f;
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void CheckpointWriter::append(std::int64_t request_index, const Grid2D& grid) {
+  // Record layout: magic | payload_bytes | payload | fnv1a64(payload), where
+  // payload = request_index | nx | ny | values. A crash between the write
+  // and the fsync can only tear the LAST record, which the loader detects.
+  std::string payload;
+  payload.reserve(24 + 8 * grid.size());
+  put_u64(payload, static_cast<std::uint64_t>(request_index));
+  put_u64(payload, static_cast<std::uint64_t>(grid.nx()));
+  put_u64(payload, static_cast<std::uint64_t>(grid.ny()));
+  for (std::size_t i = 0; i < grid.size(); ++i) put_f64(payload, grid.flat(i));
+
+  std::string record;
+  record.reserve(payload.size() + 24);
+  put_u64(record, kRecordMagic);
+  put_u64(record, static_cast<std::uint64_t>(payload.size()));
+  record += payload;
+  put_u64(record, fnv1a64(payload.data(), payload.size()));
+
+  FILE* f = static_cast<FILE*>(file_);
+  const std::size_t wrote = std::fwrite(record.data(), 1, record.size(), f);
+  DTFE_CHECK_MSG(wrote == record.size(),
+                 "short write to checkpoint journal " + path_);
+  DTFE_CHECK_MSG(std::fflush(f) == 0,
+                 "cannot flush checkpoint journal " + path_);
+  // Durability point: after this returns the record survives a crash.
+  fsync(fileno(f));
+  ++records_written_;
+}
+
+std::vector<CheckpointItem> load_checkpoints(const std::string& dir) {
+  std::vector<CheckpointItem> items;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return items;
+
+  // Deterministic replay order: sort the journal paths.
+  std::vector<fs::path> journals;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("journal-rank-", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".ckpt")
+      journals.push_back(e.path());
+  }
+  std::sort(journals.begin(), journals.end());
+
+  std::set<std::int64_t> seen;
+  for (const fs::path& jp : journals) {
+    FILE* f = std::fopen(jp.string().c_str(), "rb");
+    if (f == nullptr) continue;
+    for (;;) {
+      char head[16];
+      if (std::fread(head, 1, 16, f) != 16) break;        // clean EOF or torn
+      if (get_u64(head) != kRecordMagic) break;           // corrupt: stop here
+      const std::uint64_t nbytes = get_u64(head + 8);
+      if (nbytes < 24 || nbytes > (1ull << 32)) break;
+      std::string payload(nbytes, '\0');
+      if (std::fread(payload.data(), 1, nbytes, f) != nbytes) break;  // torn
+      char sumb[8];
+      if (std::fread(sumb, 1, 8, f) != 8) break;                      // torn
+      if (get_u64(sumb) != fnv1a64(payload.data(), payload.size()))
+        break;  // bit damage
+      const auto request_index =
+          static_cast<std::int64_t>(get_u64(payload.data()));
+      const auto nx = static_cast<std::size_t>(get_u64(payload.data() + 8));
+      const auto ny = static_cast<std::size_t>(get_u64(payload.data() + 16));
+      if (nbytes != 24 + 8 * nx * ny) break;
+      if (!seen.insert(request_index).second) continue;  // duplicate commit
+      CheckpointItem item;
+      item.request_index = request_index;
+      item.grid = Grid2D(nx, ny);
+      for (std::size_t i = 0; i < nx * ny; ++i)
+        item.grid.flat(i) = get_f64(payload.data() + 24 + 8 * i);
+      items.push_back(std::move(item));
+    }
+    std::fclose(f);
+  }
+  return items;
+}
+
+void write_checkpoint_manifest(const std::string& dir,
+                               const std::string& fingerprint) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  // Temp name unique per writer. Pid alone is NOT unique: simmpi ranks are
+  // threads of one process, and every rank publishes the manifest. All
+  // writers produce identical bytes, so rename order cannot matter — but
+  // each needs its own temp file or a loser renames a path the winner
+  // already moved.
+  static std::atomic<unsigned> manifest_seq{0};
+  const fs::path tmp = fs::path(dir) /
+      ("manifest.tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(manifest_seq.fetch_add(1)));
+  const fs::path dst = fs::path(dir) / "manifest.txt";
+  FILE* f = std::fopen(tmp.string().c_str(), "wb");
+  DTFE_CHECK_MSG(f != nullptr, "cannot write checkpoint manifest in " + dir);
+  std::fwrite(fingerprint.data(), 1, fingerprint.size(), f);
+  std::fflush(f);
+  fsync(fileno(f));
+  std::fclose(f);
+  fs::rename(tmp, dst, ec);
+  DTFE_CHECK_MSG(!ec, "cannot publish checkpoint manifest in " + dir);
+}
+
+std::string read_checkpoint_manifest(const std::string& dir) {
+  const fs::path p = fs::path(dir) / "manifest.txt";
+  FILE* f = std::fopen(p.string().c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace dtfe

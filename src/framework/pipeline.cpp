@@ -5,13 +5,17 @@
 #include <algorithm>
 #include <cstring>
 #include <cmath>
+#include <memory>
 #include <optional>
+#include <set>
 #include <span>
 
 #include "delaunay/hull_projection.h"
 #include "delaunay/triangulation.h"
 #include "dtfe/density.h"
 #include "dtfe/marching_kernel.h"
+#include "framework/crash.h"
+#include "framework/durable.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -49,6 +53,11 @@ struct PipelineMetrics {
   obs::MetricId retries = obs::counter("dtfe.workshare.retries");
   obs::MetricId packages_lost = obs::counter("dtfe.workshare.packages_lost");
   obs::MetricId bad_particles = obs::counter("dtfe.input.bad_particles");
+  obs::MetricId items_replayed =
+      obs::counter("dtfe.pipeline.items_replayed");
+  obs::MetricId checkpoint_commits =
+      obs::counter("dtfe.checkpoint.items_committed");
+  obs::MetricId cancelled = obs::counter("dtfe.watchdog.items_cancelled");
 };
 
 const PipelineMetrics& pipeline_metrics() {
@@ -181,11 +190,31 @@ bool finite3(const Vec3& p) {
   return std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z);
 }
 
+/// Per-item kernel seed: a pure function of the pipeline seed and the
+/// field center's bit patterns. Every data path that computes this item
+/// derives the same seed, so renders replay bitwise on resume.
+std::uint64_t item_seed(std::uint64_t base, const Vec3& center) {
+  std::uint64_t h = base ^ 0x9e3779b97f4a7c15ull;
+  for (const double v : {center.x, center.y, center.z}) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    h ^= bits;
+    h = detail::splitmix64(h);
+  }
+  return h ? h : 0x9e3779b97f4a7c15ull;
+}
+
+bool lex_less(const Vec3& a, const Vec3& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.z < b.z;
+}
+
 }  // namespace
 
 Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
                           const Vec3& center, const PipelineOptions& opt,
-                          ItemRecord& record) {
+                          ItemRecord& record, const Deadline* deadline) {
   record.center = center;
   record.n_particles = static_cast<double>(cube_particles.size());
   auto contain = [&](const char* reason) {
@@ -200,27 +229,64 @@ Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
     // An (almost) empty region is an expected zero field, not a failure.
     return Grid2D(opt.field_resolution, opt.field_resolution);
   }
+  // Canonical input order: the owner-gathered, shipped, re-fetched, and
+  // re-read cubes hold the same particle SET in different orders; sorting
+  // makes the triangulation input — and hence the rendered grid — bitwise
+  // identical across all of them.
+  std::sort(cube_particles.begin(), cube_particles.end(), lex_less);
   ThreadCpuTimer t;
   Grid2D grid;
+  AuditResult audit;
   try {
-    const Triangulation tri(cube_particles);
+    TriangulationOptions topt;
+    topt.deadline = deadline;
+    const Triangulation tri(cube_particles, topt);
     record.actual_tri = t.seconds();
     t.reset();
     const DensityField rho(tri, mass);
     const HullProjection hull(tri);
-    const MarchingKernel kernel(rho, hull);
+    MarchingOptions mopt;
+    mopt.seed = item_seed(opt.seed, center);
+    mopt.deadline = deadline;
+    const MarchingKernel kernel(rho, hull, mopt);
     const FieldSpec spec =
         FieldSpec::centered(center, opt.field_length, opt.field_resolution);
     grid = kernel.render(spec);
     record.actual_interp = t.seconds();
+    record.kernel_failed_cells =
+        static_cast<double>(kernel.stats().failed_cells);
+    record.kernel_perturb_restarts =
+        static_cast<double>(kernel.stats().perturb_restarts);
+    if (opt.audit.level != AuditLevel::kOff) {
+      AuditOptions aopt = opt.audit;
+      std::uint64_t aseed = mopt.seed;
+      aopt.seed = detail::splitmix64(aseed);  // same cells on replay
+      audit = audit_field_item(grid, spec, kernel.stats().ray_mass, &rho,
+                               &hull, aopt);
+      record.audit = audit.summary();
+    }
   } catch (const Error& e) {
-    // Degenerate cube (e.g. all points coplanar): contained as an empty
-    // field, as a production code must tolerate pathological requests.
+    // Degenerate cube (e.g. all points coplanar) or a watchdog
+    // cancellation: contained as an empty field, as a production code must
+    // tolerate pathological requests.
     record.actual_tri = t.seconds();
     record.failed = true;
     record.fail_reason = e.what();
+    record.cancelled =
+        record.fail_reason.find("deadline exceeded") != std::string::npos;
     if (obs::metrics_enabled()) obs::add(pipeline_metrics().items_failed);
     return Grid2D(opt.field_resolution, opt.field_resolution);
+  }
+  // Fatal audits escalate OUTSIDE the containment catch: a conservation
+  // violation means the run's outputs cannot be trusted, so it aborts the
+  // rank instead of zeroing the item.
+  if (!audit.ok() && opt.audit_fatal) {
+    std::string what = "audit failed for item at center (";
+    what += std::to_string(center.x) + ", " + std::to_string(center.y) + ", " +
+            std::to_string(center.z) + "):";
+    for (const AuditFinding& f : audit.violations)
+      what += " [" + f.check + "] " + f.detail;
+    throw Error(what);
   }
   for (const double v : grid.values())
     if (!std::isfinite(v)) return contain("non-finite value in rendered grid");
@@ -296,6 +362,65 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
   }
   res.local_items = my_requests.size();
 
+  // ---- Durable execution: manifest, resume replay, journal ---------------
+  std::unique_ptr<CheckpointWriter> ckpt;
+  std::vector<std::pair<std::ptrdiff_t, Grid2D>> replay_here;
+  if (!opt.checkpoint_dir.empty()) {
+    // Fingerprint everything that shapes the per-item grids, so a stale
+    // checkpoint directory cannot silently resume a different problem.
+    std::string fp = "pdtfe-ckpt-v1";
+    auto fld = [&fp](double v) {
+      fp += '|';
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      fp += buf;
+    };
+    fld(box);
+    fld(particle_mass);
+    fld(opt.field_length);
+    fld(static_cast<double>(opt.field_resolution));
+    fld(opt.cube_pad);
+    fld(static_cast<double>(opt.min_particles));
+    fld(static_cast<double>(opt.seed));
+    fld(static_cast<double>(field_centers.size()));
+    fp += '|';
+    fp += std::to_string(fnv1a64(field_centers.data(),
+                                 field_centers.size() * sizeof(Vec3)));
+    fp += '\n';
+    if (opt.resume) {
+      const std::string prev = read_checkpoint_manifest(opt.checkpoint_dir);
+      DTFE_CHECK_MSG(prev.empty() || prev == fp,
+                     "checkpoint manifest in " << opt.checkpoint_dir
+                     << " belongs to a different run configuration");
+      std::set<std::ptrdiff_t> mine(my_request_ids.begin(),
+                                    my_request_ids.end());
+      for (CheckpointItem& item : load_checkpoints(opt.checkpoint_dir)) {
+        if (item.grid.nx() != opt.field_resolution ||
+            item.grid.ny() != opt.field_resolution)
+          continue;  // layout from another configuration; manifest was lost
+        if (mine.count(static_cast<std::ptrdiff_t>(item.request_index)))
+          replay_here.emplace_back(
+              static_cast<std::ptrdiff_t>(item.request_index),
+              std::move(item.grid));
+      }
+      // Committed items never re-enter the work list; they are recorded as
+      // replayed at the start of the execution phase.
+      std::set<std::ptrdiff_t> done;
+      for (const auto& [id, grid] : replay_here) done.insert(id);
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < my_requests.size(); ++i) {
+        if (done.count(my_request_ids[i])) continue;
+        my_requests[w] = my_requests[i];
+        my_request_ids[w] = my_request_ids[i];
+        ++w;
+      }
+      my_requests.resize(w);
+      my_request_ids.resize(w);
+    }
+    write_checkpoint_manifest(opt.checkpoint_dir, fp);
+    ckpt = std::make_unique<CheckpointWriter>(opt.checkpoint_dir, me);
+  }
+
   // ---- Phase 2: workload modeling -----------------------------------------
   phase.emplace("pipeline.model", res.phases.model);
   // Spatial index over the local (owned + ghost) particles. Ghosts are
@@ -327,6 +452,8 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     std::vector<Vec3> cube;
     cube.reserve(ids.size());
     for (const auto id : ids) cube.push_back(local_particles[id]);
+    // No deadline: the cost model this item seeds is not fitted yet.
+    const ScopedCrashItem in_flight(me, my_request_ids[ti], "model_sample");
     test_grid = compute_field_item(std::move(cube), particle_mass,
                                    my_requests[ti], opt, test_record);
     test_record.request_index = my_request_ids[ti];
@@ -369,6 +496,16 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
   phase.reset();
 
   // ---- Phase 4: execution & communication ----------------------------------
+  // Per-item watchdog budget (see PipelineOptions::item_deadline_ms).
+  auto make_deadline = [&](double pred_seconds) {
+    if (opt.item_deadline_ms < 0.0) return Deadline();
+    if (opt.item_deadline_ms > 0.0)
+      return Deadline::after_ms(opt.item_deadline_ms);
+    return Deadline::after_ms(
+        std::max(opt.min_item_deadline_ms,
+                 1000.0 * pred_seconds * opt.watchdog_slack));
+  };
+
   auto record_item = [&](ItemRecord rec, Grid2D grid, double pred_tri,
                          double pred_interp, bool received) {
     rec.predicted_tri = pred_tri;
@@ -380,12 +517,25 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     if (rec.failed) ++res.items_failed;
     if (rec.fallback) ++res.items_fallback;
     if (rec.recovered) ++res.items_recovered;
+    if (rec.replayed) ++res.items_replayed;
+    if (rec.cancelled) ++res.items_cancelled;
+    if (!rec.audit.empty() && rec.audit != "pass") ++res.audit_violations;
+    // Commit point: the item becomes durable before it counts as done. A
+    // replayed item is already durable in some journal — re-journaling it
+    // would only bloat the directory.
+    if (ckpt && !rec.replayed && rec.request_index >= 0) {
+      ckpt->append(static_cast<std::int64_t>(rec.request_index), grid);
+      if (obs::metrics_enabled())
+        obs::add(pipeline_metrics().checkpoint_commits);
+    }
     if (obs::metrics_enabled()) {
       const PipelineMetrics& m = pipeline_metrics();
       obs::add(m.items_computed);
       if (received) obs::add(m.items_received);
       if (rec.fallback) obs::add(m.fallback);
       if (rec.recovered) obs::add(m.items_recovered);
+      if (rec.replayed) obs::add(m.items_replayed);
+      if (rec.cancelled) obs::add(m.cancelled);
     }
     obs::TraceRecorder& tr = obs::TraceRecorder::global();
     if (tr.enabled()) {
@@ -409,6 +559,18 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     if (opt.keep_grids) res.grids.push_back(std::move(grid));
   };
 
+  // Items restored from checkpoints: recorded as replayed, never recomputed
+  // and never re-journaled.
+  for (auto& [rid, rgrid] : replay_here) {
+    ItemRecord rec;
+    rec.request_index = rid;
+    rec.center = wrap_periodic(field_centers[static_cast<std::size_t>(rid)],
+                               box);
+    rec.replayed = true;
+    record_item(std::move(rec), std::move(rgrid), 0.0, 0.0, false);
+  }
+  replay_here.clear();
+
   // The already-computed random test item.
   if (test_item >= 0) {
     const auto ti = static_cast<std::size_t>(test_item);
@@ -425,8 +587,10 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
     cube.reserve(ids.size());
     for (const auto id : ids) cube.push_back(local_particles[id]);
     ItemRecord rec;
+    const Deadline deadline = make_deadline(res.model.predict(item_counts[i]));
+    const ScopedCrashItem in_flight(me, my_request_ids[i], "execute_local");
     Grid2D grid = compute_field_item(std::move(cube), particle_mass,
-                                     my_requests[i], opt, rec);
+                                     my_requests[i], opt, rec, &deadline);
     rec.request_index = my_request_ids[i];
     record_item(std::move(rec), std::move(grid),
                 res.model.predict_tri(item_counts[i]),
@@ -457,8 +621,10 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
       ItemRecord rec;
       rec.fallback = true;
       const double n = static_cast<double>(cubes[i].size());
+      const Deadline deadline = make_deadline(res.model.predict(n));
+      const ScopedCrashItem in_flight(me, req_ids[i], "fallback");
       Grid2D grid = compute_field_item(std::move(cubes[i]), particle_mass,
-                                       centers[i], opt, rec);
+                                       centers[i], opt, rec, &deadline);
       rec.request_index = req_ids[i];
       record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
                   res.model.predict_interp(n), false);
@@ -560,9 +726,11 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
         for (std::size_t i = 0; i < centers.size(); ++i) {
           ItemRecord rec;
           const double n = static_cast<double>(cubes[i].size());
+          const Deadline deadline = make_deadline(res.model.predict(n));
+          const ScopedCrashItem in_flight(me, req_ids[i], "received");
           Grid2D grid =
               compute_field_item(std::move(cubes[i]), particle_mass,
-                                 centers[i], opt, rec);
+                                 centers[i], opt, rec, &deadline);
           rec.request_index = req_ids[i];
           record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
                       res.model.predict_interp(n), true);
@@ -659,8 +827,11 @@ PipelineResult run_pipeline_impl(simmpi::Comm& comm, double box,
         rec.recovered = true;
         std::vector<Vec3> cube = fetch_cube(w, cube_side);
         const double n = static_cast<double>(cube.size());
-        Grid2D grid =
-            compute_field_item(std::move(cube), particle_mass, w, opt, rec);
+        const Deadline deadline = make_deadline(res.model.predict(n));
+        const ScopedCrashItem in_flight(me, static_cast<std::int64_t>(gi),
+                                        "recover");
+        Grid2D grid = compute_field_item(std::move(cube), particle_mass, w,
+                                         opt, rec, &deadline);
         rec.request_index = static_cast<std::ptrdiff_t>(gi);
         record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
                     res.model.predict_interp(n), false);

@@ -15,12 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "dtfe/audit.h"
 #include "dtfe/field.h"
 #include "framework/decomposition.h"
 #include "framework/schedule.h"
 #include "framework/workload_model.h"
 #include "nbody/particles.h"
 #include "simmpi/comm.h"
+#include "util/cancel.h"
 
 namespace dtfe {
 
@@ -50,6 +52,30 @@ struct PipelineOptions {
   int comm_timeout_ms = 2000;
   /// What to do with non-finite / out-of-box input particle positions.
   BadParticlePolicy bad_particles = BadParticlePolicy::kReject;
+  // --- durable execution (see README "Durable execution & audits") --------
+  /// Directory for item-granular checkpoints ("" = checkpointing off). Each
+  /// rank journals every committed item's grid (crash-consistent, fsynced,
+  /// checksummed); see framework/durable.h.
+  std::string checkpoint_dir;
+  /// Replay committed items from checkpoint_dir instead of recomputing
+  /// them. The resumed run's final grids are bitwise identical to an
+  /// uninterrupted run (per-item kernel seeds are pure functions of the
+  /// item identity and cube inputs are canonically ordered).
+  bool resume = false;
+  /// Per-item watchdog deadline: < 0 disables the watchdog (default),
+  /// 0 derives each item's budget from the fitted cost model
+  /// (watchdog_slack × predicted seconds, floored at min_item_deadline_ms),
+  /// > 0 is a fixed budget in milliseconds. Expired items are cooperatively
+  /// cancelled inside the triangulation/kernels and contained as
+  /// failed-with-reason zero grids.
+  double item_deadline_ms = -1.0;
+  double watchdog_slack = 16.0;
+  double min_item_deadline_ms = 2000.0;
+  /// Runtime conservation audits over every committed item (dtfe/audit.h).
+  AuditOptions audit;
+  /// Escalate any audit violation to a thrown Error (aborting the run)
+  /// instead of counting and tagging it.
+  bool audit_fatal = false;
 };
 
 /// Per-rank busy seconds for each phase (thread CPU time: blocking receives
@@ -83,7 +109,16 @@ struct ItemRecord {
   bool recovered = false; ///< recomputed in the recovery phase
   bool fallback = false;  ///< shipped item computed locally after the
                           ///< receiver died, timed out, or gave up
+  bool replayed = false;  ///< restored from a checkpoint, not computed
+  bool cancelled = false; ///< failed because the item deadline expired
   std::string fail_reason;///< what went wrong when failed
+  std::string audit;      ///< audit outcome ("" = not audited, else
+                          ///< "pass" or the violated check names)
+  /// Kernel health for this item (MarchingStats), surfaced as per-item run
+  /// report tags: cells that exhausted perturbation retries, and how many
+  /// degenerate marches were restarted.
+  double kernel_failed_cells = 0.0;
+  double kernel_perturb_restarts = 0.0;
 };
 
 struct PipelineResult {
@@ -100,6 +135,9 @@ struct PipelineResult {
   std::size_t items_failed = 0;    ///< contained failures (zero grids)
   std::size_t items_fallback = 0;  ///< shipped items computed locally instead
   std::size_t items_recovered = 0; ///< dead ranks' items recomputed here
+  std::size_t items_replayed = 0;  ///< items restored from checkpoints
+  std::size_t items_cancelled = 0; ///< items contained by the watchdog
+  std::size_t audit_violations = 0;///< audit findings across this rank's items
   std::size_t package_retries = 0; ///< work-package re-requests served
   std::size_t packages_lost = 0;   ///< packages abandoned (fallback taken)
   SanitizeCounts bad_particles;    ///< input-hardening tallies for this rank
@@ -119,11 +157,19 @@ PipelineResult run_pipeline(simmpi::Comm& comm, const ParticleSet& particles,
 /// kernel invocation shared by the local, received, fallback, and recovery
 /// execution paths. Returns the rendered grid and fills timing in `record`.
 /// Never throws on bad data: a degenerate triangulation, a non-finite input
-/// position, or a non-finite rendered value yields a zero grid with
-/// record.failed set and record.fail_reason explaining why.
+/// position, a non-finite rendered value, or a deadline cancellation yields
+/// a zero grid with record.failed set and record.fail_reason explaining why.
+/// (Exception: an audit violation under opt.audit_fatal throws.)
+///
+/// Deterministic by construction: the cube is canonically ordered before
+/// triangulation and the kernel seed derives from (opt.seed, center), so
+/// ANY rank computing this item from ANY data path (owner gather, shipped
+/// package, recovery re-fetch, snapshot re-read) renders a bitwise
+/// identical grid — the property checkpoint resume relies on.
 Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
                           const Vec3& center, const PipelineOptions& opt,
-                          ItemRecord& record);
+                          ItemRecord& record,
+                          const Deadline* deadline = nullptr);
 
 /// Re-fetches the particle cube for a field center (the recovery phase's
 /// data source: in-memory extraction or a targeted snapshot re-read).

@@ -33,15 +33,16 @@ double orient3d_fast(const Vec3& a, const Vec3& b, const Vec3& c,
 double insphere_fast(const Vec3& a, const Vec3& b, const Vec3& c,
                      const Vec3& d, const Vec3& e);
 
-/// Counters for filter effectiveness reporting (benchmarks only; updated
-/// non-atomically and therefore approximate under concurrency).
+/// Counters for filter effectiveness reporting. The live tallies are
+/// relaxed atomics (predicates run concurrently inside OpenMP regions);
+/// predicate_stats() returns a point-in-time snapshot.
 struct PredicateStats {
   unsigned long long orient3d_calls = 0;
   unsigned long long orient3d_exact = 0;
   unsigned long long insphere_calls = 0;
   unsigned long long insphere_exact = 0;
 };
-PredicateStats& predicate_stats();
+PredicateStats predicate_stats();
 void reset_predicate_stats();
 
 }  // namespace dtfe

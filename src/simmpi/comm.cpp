@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <optional>
 #include <thread>
@@ -77,7 +78,7 @@ class Runtime {
         dead_(static_cast<std::size_t>(nranks)),
         seed_(plan ? plan->seed : 1) {
     if (plan)
-      for (const FaultRule& r : plan->rules) rules_.push_back(LiveRule{r, 0});
+      for (const FaultRule& r : plan->rules) rules_.emplace_back(r);
   }
 
   int size() const { return static_cast<int>(boxes_.size()); }
@@ -183,13 +184,15 @@ class Runtime {
     std::condition_variable cv;
     std::deque<Message> queue;
   };
-  /// A rule plus its match counter. The counter is only ever touched by one
-  /// thread (the victim for kills, the sending rank for message faults), so
-  /// it needs no synchronization.
+  /// A rule plus its match counter. Only one thread ever ADVANCES a given
+  /// rule (the victim for kills, the sending rank for message faults), but
+  /// every rank's scan READS all rules' state, so the mutable fields are
+  /// relaxed atomics — uncontended in practice, race-free formally.
   struct LiveRule {
+    explicit LiveRule(const FaultRule& rule) : r(rule) {}
     FaultRule r;
-    std::uint64_t count = 0;
-    bool fired = false;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<bool> fired{false};
   };
 
   bool all_others_dead(int me) const {
@@ -204,11 +207,13 @@ class Runtime {
   void on_comm_call(int rank, int tag) {
     if (rules_.empty()) return;
     for (LiveRule& lr : rules_) {
-      if (lr.fired || lr.r.action != FaultAction::kKill || lr.r.rank != rank)
+      if (lr.fired.load(std::memory_order_relaxed) ||
+          lr.r.action != FaultAction::kKill || lr.r.rank != rank)
         continue;
       if (lr.r.tag != -1 && lr.r.tag != tag) continue;
-      if (++lr.count < lr.r.at) continue;
-      lr.fired = true;
+      if (lr.count.fetch_add(1, std::memory_order_relaxed) + 1 < lr.r.at)
+        continue;
+      lr.fired.store(true, std::memory_order_relaxed);
       dead_[static_cast<std::size_t>(rank)].store(true,
                                                   std::memory_order_release);
       if (obs::metrics_enabled()) obs::add(fault_metrics().ranks_killed);
@@ -229,11 +234,15 @@ class Runtime {
                             Clock::duration& delay) {
     bool keep = true;
     for (LiveRule& lr : rules_) {
-      if (lr.fired || lr.r.action == FaultAction::kKill) continue;
+      if (lr.fired.load(std::memory_order_relaxed) ||
+          lr.r.action == FaultAction::kKill)
+        continue;
       if (lr.r.src != src || lr.r.dst != dst) continue;
       if (lr.r.tag != -1 && lr.r.tag != tag) continue;
-      if (++lr.count < lr.r.nth) continue;
-      lr.fired = true;
+      const std::uint64_t cnt =
+          lr.count.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (cnt < lr.r.nth) continue;
+      lr.fired.store(true, std::memory_order_relaxed);
       const bool metrics = obs::metrics_enabled();
       switch (lr.r.action) {
         case FaultAction::kDrop:
@@ -253,7 +262,7 @@ class Runtime {
           const std::uint64_t h = mix64(
               seed_ ^ mix64((static_cast<std::uint64_t>(src) << 32) ^
                             static_cast<std::uint64_t>(dst) ^
-                            (lr.count << 16)));
+                            (cnt << 16)));
           const std::size_t b =
               lr.r.byte >= 0 ? std::min(static_cast<std::size_t>(lr.r.byte),
                                         payload.size() - 1)
@@ -278,7 +287,7 @@ class Runtime {
   std::vector<Mailbox> boxes_;
   std::vector<std::atomic<bool>> dead_;
   const std::uint64_t seed_;
-  std::vector<LiveRule> rules_;
+  std::deque<LiveRule> rules_;  // deque: LiveRule holds atomics (immovable)
 };
 
 int Comm::size() const { return rt_->size(); }

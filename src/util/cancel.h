@@ -1,0 +1,51 @@
+// Cooperative cancellation for long-running kernels.
+//
+// A Deadline is a soft wall-clock budget: code that may run away (a
+// triangulation of a pathological cube, a marching render caught in a
+// perturbation storm) polls expired() at coarse intervals and unwinds
+// cleanly — typically by throwing dtfe::Error so the pipeline's containment
+// path turns the item into a failed-with-reason zero grid instead of hanging
+// its rank. An unarmed Deadline (the default) never expires and its checks
+// compile down to one branch on a bool, so disabled-mode overhead is nil.
+#pragma once
+
+#include <chrono>
+
+namespace dtfe {
+
+class Deadline {
+ public:
+  /// Never expires (the disabled default).
+  Deadline() = default;
+
+  /// Expires `ms` wall-clock milliseconds from now. Non-positive budgets
+  /// produce an already-expired deadline (useful in tests).
+  static Deadline after_ms(double ms) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds remaining (0 if expired, a large value if unarmed).
+  double remaining_ms() const {
+    if (!armed_) return 1e300;
+    const auto left = at_ - std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(left).count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace dtfe
