@@ -7,7 +7,8 @@
 //                  [--method march|walk|tess|cic] [--mc 1] [--adaptive 0]
 //                  [--metrics-out m.json] [--trace-out t.json]
 //   pdtfe pipeline --in snap.bin [--ranks 8] [--fields 64] [--length 5]
-//                  [--grid 64] [--balance 1] [--metrics-out m.json]
+//                  [--grid 64] [--kernel march|walk|tess]
+//                  [--balance 1] [--metrics-out m.json]
 //                  [--trace-out t.json] [--report prefix]
 //                  [--fault-plan spec] [--max-retries 3]
 //                  [--comm-timeout-ms 2000] [--bad-particles reject|drop|clamp]
@@ -28,18 +29,17 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/dtfe.h"
 #include "dtfe/audit.h"
 #include "dtfe/lensing.h"
-#include "framework/crash.h"
+#include "engine/phases.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
-#include "simmpi/fault.h"
 #include "util/cli.h"
 #include "util/image.h"
 #include "util/stats.h"
@@ -157,9 +157,10 @@ int cmd_render(const CliArgs& args) {
       {"in", "out", "grid", "method", "mc", "adaptive", "metrics-out",
        "trace-out"});
   ObsSession obs_session(args);
-  const ParticleSet set = read_snapshot(args.get("in", std::string{}));
-  const auto ng = static_cast<std::size_t>(args.get("grid", 512L));
-  const std::string method = args.get("method", std::string{"march"});
+  const CommonFieldFlags common = parse_common_field_flags(args, 512L);
+  const ParticleSet set = read_snapshot(common.in);
+  const std::size_t ng = common.grid;
+  const std::string& method = common.method;
   const std::string out = args.get("out", std::string{"map.pgm"});
 
   FieldSpec spec;
@@ -174,23 +175,23 @@ int cmd_render(const CliArgs& args) {
   if (method == "cic") {
     map = assign_surface_density(set, ng, AssignmentScheme::kCic);
   } else {
-    const Reconstructor recon(set.positions, set.particle_mass);
-    std::printf("triangulated %zu particles in %.2f s\n", set.size(),
-                timer.seconds());
-    timer.reset();
-    if (method == "march") {
-      MarchingOptions opt;
-      opt.monte_carlo_samples = static_cast<int>(args.get("mc", 1L));
-      opt.adaptive_max_depth = static_cast<int>(args.get("adaptive", 0L));
-      map = recon.surface_density(spec, opt);
-    } else if (method == "walk") {
-      map = recon.surface_density_walking(spec);
-    } else if (method == "tess") {
-      map = recon.surface_density_zero_order(spec);
-    } else {
+    // Any registered field kernel works here; --mc/--adaptive shape the
+    // marching estimator and are ignored by the others.
+    if (!engine::KernelRegistry::builtin().contains(method)) {
       std::fprintf(stderr, "unknown --method %s\n", method.c_str());
       return 2;
     }
+    const engine::FieldCube cube(set.positions, set.particle_mass);
+    std::printf("triangulated %zu particles in %.2f s\n", set.size(),
+                timer.seconds());
+    timer.reset();
+    engine::KernelOptions kopt;
+    kopt.marching.monte_carlo_samples = static_cast<int>(args.get("mc", 1L));
+    kopt.marching.adaptive_max_depth =
+        static_cast<int>(args.get("adaptive", 0L));
+    engine::KernelStats stats;
+    map = engine::KernelRegistry::builtin().create(method, kopt)->render(
+        cube, engine::RenderRequest{spec}, nullptr, stats);
   }
   std::printf("rendered %zux%zu (%s) in %.2f s; grid mass %.0f of %.0f\n", ng,
               ng, method.c_str(), timer.seconds(),
@@ -203,83 +204,53 @@ int cmd_render(const CliArgs& args) {
 }
 
 int cmd_pipeline(const CliArgs& args) {
-  args.check_known({"in", "ranks", "fields", "length", "grid", "balance",
-                    "metrics-out", "trace-out", "report", "fault-plan",
-                    "max-retries", "comm-timeout-ms", "bad-particles",
-                    "checkpoint-dir", "resume", "item-deadline-ms", "audit",
-                    "audit-fatal"});
+  args.check_known({"in", "ranks", "fields", "length", "grid", "kernel",
+                    "balance", "metrics-out", "trace-out", "report",
+                    "fault-plan", "max-retries", "comm-timeout-ms",
+                    "bad-particles", "checkpoint-dir", "resume",
+                    "item-deadline-ms", "audit", "audit-fatal"});
   ObsSession obs_session(args);
   // Crash diagnostics are on from the first byte read: a hard fault anywhere
   // in the run prints the in-flight items and a backtrace. Re-invoked below
   // once the report prefix is known, to arm the partial-report flush.
   install_crash_handler();
-  const std::string path = args.get("in", std::string{});
-  const int ranks = static_cast<int>(args.get("ranks", 8L));
-  const auto n_fields = static_cast<std::size_t>(args.get("fields", 64L));
 
-  const ParticleSet set = read_snapshot(path);
-  const auto groups = find_fof_groups(set);
-  std::vector<Vec3> centers;
-  for (std::size_t i = 0; i < groups.size() && centers.size() < n_fields; ++i)
-    centers.push_back(groups[i].center);
-  std::printf("%zu field requests on FOF objects, %d ranks\n", centers.size(),
-              ranks);
-
-  PipelineOptions opt;
-  opt.field_length = args.get("length", 5.0);
-  opt.field_resolution = static_cast<std::size_t>(args.get("grid", 64L));
-  opt.load_balance = args.get("balance", 1L) != 0;
-  opt.max_retries = static_cast<int>(args.get("max-retries", 3L));
-  opt.comm_timeout_ms = static_cast<int>(args.get("comm-timeout-ms", 2000L));
-  const std::string bad = args.get("bad-particles", std::string{"reject"});
-  if (bad == "reject") {
-    opt.bad_particles = BadParticlePolicy::kReject;
-  } else if (bad == "drop") {
-    opt.bad_particles = BadParticlePolicy::kDrop;
-  } else if (bad == "clamp") {
-    opt.bad_particles = BadParticlePolicy::kClamp;
-  } else {
-    std::fprintf(stderr, "unknown --bad-particles %s\n", bad.c_str());
-    return 2;
-  }
-  // Durable execution (README "Durable execution & audits").
-  opt.checkpoint_dir = args.get("checkpoint-dir", std::string{});
-  opt.resume = args.get("resume", 0L) != 0;
-  if (opt.resume && opt.checkpoint_dir.empty()) {
-    std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
-    return 2;
-  }
-  const std::string deadline_arg =
-      args.get("item-deadline-ms", std::string{});
-  if (deadline_arg == "auto")
-    opt.item_deadline_ms = 0.0;  // derive from the fitted cost model
-  else if (!deadline_arg.empty())
-    opt.item_deadline_ms = std::strtod(deadline_arg.c_str(), nullptr);
+  engine::EngineConfig cfg;
   try {
-    opt.audit.level = parse_audit_level(args.get("audit", std::string{"off"}));
+    cfg = engine::EngineConfig::from_cli(args);
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  opt.audit_fatal = args.get("audit-fatal", 0L) != 0;
+  const PipelineOptions& opt = cfg.pipeline;
+
+  const ParticleSet set = read_snapshot(cfg.snapshot);
+  const auto groups = find_fof_groups(set);
+  std::vector<engine::FieldRequest> requests;
+  for (std::size_t i = 0; i < groups.size() && requests.size() < cfg.n_fields;
+       ++i)
+    requests.push_back({groups[i].center});
+  std::printf("%zu field requests on FOF objects, %d ranks\n", requests.size(),
+              cfg.ranks);
+
   install_crash_handler(obs_session.report_prefix.empty()
                             ? std::string{}
                             : obs_session.report_prefix + ".crash.json");
-  const simmpi::FaultPlan plan =
-      simmpi::FaultPlan::parse(args.get("fault-plan", std::string{}));
-  simmpi::RunOptions run_opts;
-  run_opts.fault_plan = plan.empty() ? nullptr : &plan;
-  if (!plan.empty())
-    std::printf("fault plan armed: %zu rule(s)\n", plan.rules.size());
+  if (!cfg.fault_plan.empty())
+    std::printf("fault plan armed: %zu rule(s)\n", cfg.fault_plan.rules.size());
 
-  std::mutex mtx;
-  RunningStats busy;
   obs::RunReport report;
   set_crash_report(&report);  // flushed (partially filled) on a hard fault
   WallTimer wall;
+  engine::Engine eng(cfg);
+  const std::vector<engine::FieldResult> fields = eng.run_batch(requests);
+
   // Aggregated across surviving ranks: which global field requests were
   // completed (and their grid checksums), plus the fault tallies.
+  RunningStats busy;
   std::map<std::ptrdiff_t, double> field_sums;
+  for (const engine::FieldResult& f : fields)
+    if (f.completed) field_sums[f.request] = f.checksum;
   std::size_t tot_failed = 0, tot_fallback = 0, tot_recovered = 0;
   std::size_t tot_retries = 0, tot_lost = 0;
   std::size_t tot_replayed = 0, tot_cancelled = 0, tot_audit_violations = 0;
@@ -287,10 +258,8 @@ int cmd_pipeline(const CliArgs& args) {
   SanitizeCounts bad_counts;
   std::set<int> dead_ranks;
   bool model_degenerate = false;
-  simmpi::run(ranks, run_opts, [&](simmpi::Comm& comm) {
-    const PipelineResult res =
-        run_pipeline_from_snapshot(comm, path, centers, opt);
-    std::lock_guard<std::mutex> lock(mtx);
+  for (const engine::RankRun& run : eng.last_rank_runs()) {
+    const PipelineResult& res = run.result;
     busy.add(res.phases.total());
     tot_failed += res.items_failed;
     tot_fallback += res.items_fallback;
@@ -308,7 +277,6 @@ int cmd_pipeline(const CliArgs& args) {
     model_degenerate = model_degenerate || res.model.degenerate();
     std::vector<std::pair<std::string, std::string>> tags;
     for (const ItemRecord& it : res.items) {
-      if (it.request_index >= 0) field_sums[it.request_index] = it.grid_sum;
       const std::string id = std::to_string(it.request_index);
       if (it.failed)
         tags.emplace_back("item_fail_" + id, it.fail_reason);
@@ -328,37 +296,34 @@ int cmd_pipeline(const CliArgs& args) {
         tags.emplace_back("item_audit_" + id, it.audit);
       }
     }
-    if (!tags.empty()) report.add_rank_tags(comm.rank(), std::move(tags));
-    report.add_rank_values(comm.rank(),
-                           {{"partition_s", res.phases.partition},
-                            {"model_s", res.phases.model},
-                            {"work_share_s", res.phases.work_share},
-                            {"triangulate_s", res.phases.triangulate},
-                            {"render_s", res.phases.render},
-                            {"recover_s", res.phases.recover},
-                            {"total_s", res.phases.total()},
-                            {"local_items", static_cast<double>(res.local_items)},
-                            {"items_received",
-                             static_cast<double>(res.items_received)},
-                            {"items_failed",
-                             static_cast<double>(res.items_failed)},
-                            {"items_fallback",
-                             static_cast<double>(res.items_fallback)},
-                            {"items_recovered",
-                             static_cast<double>(res.items_recovered)}});
+    if (!tags.empty()) report.add_rank_tags(run.rank, std::move(tags));
+    report.add_rank_values(
+        run.rank,
+        {{engine::phases::kReportPartition, res.phases.partition},
+         {engine::phases::kReportModel, res.phases.model},
+         {engine::phases::kReportWorkShare, res.phases.work_share},
+         {engine::phases::kReportTriangulate, res.phases.triangulate},
+         {engine::phases::kReportRender, res.phases.render},
+         {engine::phases::kReportRecover, res.phases.recover},
+         {engine::phases::kReportTotal, res.phases.total()},
+         {"local_items", static_cast<double>(res.local_items)},
+         {"items_received", static_cast<double>(res.items_received)},
+         {"items_failed", static_cast<double>(res.items_failed)},
+         {"items_fallback", static_cast<double>(res.items_fallback)},
+         {"items_recovered", static_cast<double>(res.items_recovered)}});
     std::printf("rank %2d: %3zu local, %3zu received, %zu failed, "
                 "%zu fallback, %zu recovered, busy %.2fs\n",
-                comm.rank(), res.local_items, res.items_received,
+                run.rank, res.local_items, res.items_received,
                 res.items_failed, res.items_fallback, res.items_recovered,
                 res.phases.total());
-  });
+  }
   std::printf("busy: mean %.2fs max %.2fs (imbalance %.2f)\n", busy.mean(),
               busy.max(), busy.max() / std::max(busy.mean(), 1e-12));
   double checksum_total = 0.0;
   for (const auto& [id, sum] : field_sums) checksum_total += sum;
   std::printf("fields completed: %zu/%zu (failed %zu, recovered %zu, "
               "fallback %zu, retries %zu)\n",
-              field_sums.size(), centers.size(), tot_failed, tot_recovered,
+              field_sums.size(), requests.size(), tot_failed, tot_recovered,
               tot_fallback, tot_retries);
   if (!opt.checkpoint_dir.empty())
     std::printf("checkpoint: %zu item(s) replayed from %s\n", tot_replayed,
@@ -377,8 +342,8 @@ int cmd_pipeline(const CliArgs& args) {
   }
   const obs::MetricsSnapshot snap = obs_session.finish();
   if (!obs_session.report_prefix.empty()) {
-    report.add_summary("ranks", ranks);
-    report.add_summary("fields", static_cast<double>(centers.size()));
+    report.add_summary("ranks", cfg.ranks);
+    report.add_summary("fields", static_cast<double>(requests.size()));
     report.add_summary("fields_completed",
                        static_cast<double>(field_sums.size()));
     report.add_summary("wall_s", wall.seconds());
@@ -416,18 +381,22 @@ int cmd_pipeline(const CliArgs& args) {
 
 int cmd_lensing(const CliArgs& args) {
   args.check_known({"in", "out-prefix", "grid", "length", "sigma-crit-frac"});
-  const ParticleSet set = read_snapshot(args.get("in", std::string{}));
-  const auto ng = static_cast<std::size_t>(args.get("grid", 256L));
-  const double length = args.get("length", 8.0);
+  const CommonFieldFlags common = parse_common_field_flags(args, 256L, 8.0);
+  const ParticleSet set = read_snapshot(common.in);
+  const std::size_t ng = common.grid;
+  const double length = common.length;
   const std::string prefix = args.get("out-prefix", std::string{"lens"});
 
   const auto groups = find_fof_groups(set);
   DTFE_CHECK_MSG(!groups.empty(), "no FOF objects found");
   const Vec3 target = groups[0].center;
-  const auto cube = extract_cube(set, target, 1.3 * length);
-  const Reconstructor recon(cube, set.particle_mass);
+  const engine::FieldCube cube(extract_cube(set, target, 1.3 * length),
+                               set.particle_mass);
   const FieldSpec spec = FieldSpec::centered(target, length, ng);
-  const Grid2D sigma = recon.surface_density(spec);
+  engine::KernelStats stats;
+  const Grid2D sigma = engine::KernelRegistry::builtin().create("march")
+                           ->render(cube, engine::RenderRequest{spec},
+                                    nullptr, stats);
 
   RunningStats st;
   for (const double v : sigma.values()) st.add(v);

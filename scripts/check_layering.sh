@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Layering lint: keep the dependency arrows pointing one way
+# (util/obs → geometry → delaunay → dtfe → framework → engine → apps).
+#
+#   * src/dtfe/ is pure numerics — it must not reach up into the
+#     orchestration layers (framework/, engine/, simmpi/).
+#   * apps/ talks to the pipeline only through the engine facade — no direct
+#     framework/ or simmpi/ includes (engine/engine.h re-exports what a
+#     subcommand legitimately needs).
+#
+# Greps #include lines only, so the rules stay cheap and editor-friendly.
+# Run from anywhere; exits non-zero listing every violating include.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check() {
+  local dir="$1" pattern="$2" rule="$3"
+  local hits
+  hits="$(grep -rnE "^[[:space:]]*#include[[:space:]]+\"(${pattern})/" \
+          "$dir" --include='*.h' --include='*.cpp' || true)"
+  if [ -n "$hits" ]; then
+    echo "layering violation: $rule" >&2
+    echo "$hits" >&2
+    fail=1
+  fi
+}
+
+check src/dtfe  'framework|engine|simmpi' \
+      'src/dtfe/ must not include framework/, engine/, or simmpi/'
+check apps      'framework|simmpi' \
+      'apps/ must go through engine/ (no direct framework/ or simmpi/ includes)'
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_layering: FAILED" >&2
+  exit 1
+fi
+echo "check_layering: ok"

@@ -22,12 +22,18 @@ while [ $# -gt 0 ]; do
   esac
 done
 
+echo "== lint: layering rules"
+bash scripts/check_layering.sh
+
 echo "== tier-1: configure + build (build/, $JOBS jobs)"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 
 echo "== tier-1: full ctest suite"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== engine: kernel/stage/batch contract suite"
+ctest --test-dir build --output-on-failure -L engine
 
 if [ "$SKIP_TSAN" -eq 1 ]; then
   echo "== tsan: skipped (--skip-tsan)"

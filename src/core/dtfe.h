@@ -2,7 +2,8 @@
 // library. Include this to get everything.
 //
 //   Single volume:   dtfe::Reconstructor
-//   Many fields:     dtfe::run_pipeline over dtfe::simmpi ranks
+//   Many fields:     dtfe::engine::Engine::run_batch (or the thinner
+//                    dtfe::run_pipeline) over dtfe::simmpi ranks
 //   Data:            dtfe::generate_* / snapshot I/O / FOF halos
 //
 // See README.md for a quickstart and DESIGN.md for the architecture map.
@@ -19,6 +20,9 @@
 #include "dtfe/tess_kernel.h"
 #include "dtfe/vector_field.h"
 #include "dtfe/walking_kernel.h"
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "engine/field_kernel.h"
 #include "framework/decomposition.h"
 #include "framework/des.h"
 #include "framework/pipeline.h"

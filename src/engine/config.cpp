@@ -1,0 +1,60 @@
+#include "engine/config.h"
+
+#include <cstdlib>
+
+#include "dtfe/audit.h"
+#include "engine/field_kernel.h"
+#include "util/error.h"
+
+namespace dtfe::engine {
+
+EngineConfig EngineConfig::from_cli(const CliArgs& args) {
+  EngineConfig cfg;
+  const CommonFieldFlags common = parse_common_field_flags(args, 64L, 5.0);
+  cfg.snapshot = common.in;
+  cfg.ranks = static_cast<int>(args.get("ranks", 8L));
+  cfg.n_fields = static_cast<std::size_t>(args.get("fields", 64L));
+
+  PipelineOptions& opt = cfg.pipeline;
+  opt.field_length = common.length;
+  opt.field_resolution = common.grid;
+  opt.load_balance = args.get("balance", 1L) != 0;
+  opt.max_retries = static_cast<int>(args.get("max-retries", 3L));
+  opt.comm_timeout_ms = static_cast<int>(args.get("comm-timeout-ms", 2000L));
+
+  const std::string bad = args.get("bad-particles", std::string{"reject"});
+  if (bad == "reject") {
+    opt.bad_particles = BadParticlePolicy::kReject;
+  } else if (bad == "drop") {
+    opt.bad_particles = BadParticlePolicy::kDrop;
+  } else if (bad == "clamp") {
+    opt.bad_particles = BadParticlePolicy::kClamp;
+  } else {
+    throw Error("unknown --bad-particles " + bad);
+  }
+
+  // Durable execution (README "Durable execution & audits").
+  opt.checkpoint_dir = args.get("checkpoint-dir", std::string{});
+  opt.resume = args.get("resume", 0L) != 0;
+  if (opt.resume && opt.checkpoint_dir.empty())
+    throw Error("--resume needs --checkpoint-dir");
+
+  const std::string deadline_arg = args.get("item-deadline-ms", std::string{});
+  if (deadline_arg == "auto")
+    opt.item_deadline_ms = 0.0;  // derive from the fitted cost model
+  else if (!deadline_arg.empty())
+    opt.item_deadline_ms = std::strtod(deadline_arg.c_str(), nullptr);
+
+  opt.audit.level = parse_audit_level(args.get("audit", std::string{"off"}));
+  opt.audit_fatal = args.get("audit-fatal", 0L) != 0;
+
+  opt.kernel = args.get("kernel", std::string{"march"});
+  if (!KernelRegistry::builtin().contains(opt.kernel))
+    throw Error("unknown --kernel " + opt.kernel);
+
+  cfg.fault_plan = simmpi::FaultPlan::parse(args.get("fault-plan",
+                                                     std::string{}));
+  return cfg;
+}
+
+}  // namespace dtfe::engine

@@ -1,0 +1,94 @@
+// The reusable DTFE engine: batched field reconstruction as a library call.
+//
+//   EngineConfig cfg;                 // or EngineConfig::from_cli(args)
+//   cfg.ranks = 8;
+//   Engine engine(cfg, particles);    // or Engine(cfg) for cfg.snapshot
+//   std::vector<FieldRequest> reqs = {{center0}, {center1}, ...};
+//   const std::vector<FieldResult> fields = engine.run_batch(reqs);
+//
+// run_batch drives the full staged pipeline (engine/stages.h) across
+// cfg.ranks simulated MPI ranks and merges the per-rank outputs into one
+// result per request. It is re-entrant: every Engine owns its metric ids
+// and crash-diagnostics registry, so multiple engines — and multiple
+// sequential batches per engine — coexist in one process with no shared
+// mutable state. Grids are bitwise identical from batch to batch (per-item
+// kernel seeds are pure functions of the request identity).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/config.h"
+#include "engine/field_kernel.h"
+#include "engine/state.h"
+#include "framework/crash.h"
+#include "framework/pipeline.h"
+#include "nbody/particles.h"
+
+namespace dtfe::engine {
+
+/// One requested surface-density field, centered on a point of interest.
+struct FieldRequest {
+  Vec3 center;
+};
+
+/// The reconstruction of one request, merged across ranks. Duplicate
+/// computations of the same request (fallback, recovery) are bitwise
+/// identical by construction, so the first committed copy wins.
+struct FieldResult {
+  std::ptrdiff_t request = -1;  ///< index into the run_batch input span
+  Grid2D grid;
+  double checksum = 0.0;        ///< grid sum (the pipeline's item checksum)
+  bool completed = false;       ///< some rank committed this request
+  bool failed = false;          ///< contained failure: grid is all zeros
+  std::string fail_reason;
+};
+
+/// One rank's full pipeline outcome for the latest batch (phase times,
+/// item records, fault tallies) — the raw material for run reports.
+struct RankRun {
+  int rank = -1;
+  PipelineResult result;
+};
+
+class Engine {
+ public:
+  /// Snapshot-backed engine: every batch re-reads config.snapshot blocks
+  /// (round-robin) and recovery re-fetches cubes from the file.
+  explicit Engine(EngineConfig config);
+  /// In-memory engine: ranks slice `particles` and recovery extracts cubes
+  /// from the retained copy.
+  Engine(EngineConfig config, ParticleSet particles);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Reconstruct every requested field. Returns one FieldResult per request,
+  /// in request order; a request no surviving rank committed (only possible
+  /// under injected faults with recovery disabled) has completed == false.
+  std::vector<FieldResult> run_batch(std::span<const FieldRequest> requests);
+
+  /// Per-rank pipeline outcomes of the most recent run_batch, sorted by
+  /// rank. Ranks killed by a fault plan are absent.
+  const std::vector<RankRun>& last_rank_runs() const { return rank_runs_; }
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Swap in a custom kernel registry (tests, plug-in estimators). The
+  /// registry must outlive the engine; pipeline.kernel names resolve in it.
+  void set_kernels(const KernelRegistry* kernels) { kernels_ = kernels; }
+  const KernelRegistry& kernels() const { return *kernels_; }
+
+ private:
+  EngineConfig config_;
+  std::optional<ParticleSet> particles_;
+  PipelineMetrics metrics_;     ///< engine-owned: no function-local statics
+  CrashItemRegistry crash_;     ///< engine-owned crash-diagnostics slots
+  const KernelRegistry* kernels_ = &KernelRegistry::builtin();
+  std::vector<RankRun> rank_runs_;
+};
+
+}  // namespace dtfe::engine

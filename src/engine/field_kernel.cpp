@@ -1,0 +1,101 @@
+#include "engine/field_kernel.h"
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace dtfe::engine {
+
+FieldCube::FieldCube(std::vector<Vec3> particles, double particle_mass,
+                     const TriangulationOptions& topt)
+    : points_(std::move(particles)) {
+  ThreadCpuTimer t;
+  tri_ = std::make_unique<Triangulation>(points_, topt);
+  tri_seconds_ = t.seconds();
+  density_ = std::make_unique<DensityField>(*tri_, particle_mass);
+  hull_ = std::make_unique<HullProjection>(*tri_);
+}
+
+Grid2D MarchingFieldKernel::render(const FieldCube& cube,
+                                   const RenderRequest& request,
+                                   const Deadline* deadline,
+                                   KernelStats& stats) const {
+  MarchingOptions opt = base_;
+  if (request.seed != 0) opt.seed = request.seed;
+  if (deadline != nullptr) opt.deadline = deadline;
+  const MarchingKernel kernel(cube.density(), cube.hull(), opt);
+  Grid2D grid = kernel.render(request.spec);
+  stats.ray_mass = kernel.stats().ray_mass;
+  stats.failed_cells = kernel.stats().failed_cells;
+  stats.perturb_restarts = kernel.stats().perturb_restarts;
+  return grid;
+}
+
+Grid2D WalkingFieldKernel::render(const FieldCube& cube,
+                                  const RenderRequest& request,
+                                  const Deadline* deadline,
+                                  KernelStats& stats) const {
+  (void)deadline;  // the walking baseline has no cooperative poll points
+  (void)stats;     // and no independent mass re-accumulation (NaN = skip)
+  WalkingOptions opt = base_;
+  if (request.seed != 0) opt.seed = request.seed;
+  const WalkingKernel kernel(cube.density(), opt);
+  return kernel.render(request.spec);
+}
+
+Grid2D TessFieldKernel::render(const FieldCube& cube,
+                               const RenderRequest& request,
+                               const Deadline* deadline,
+                               KernelStats& stats) const {
+  (void)stats;
+  TessOptions opt = base_;
+  if (request.seed != 0) opt.seed = request.seed;
+  if (deadline != nullptr) opt.deadline = deadline;
+  const TessKernel kernel(cube.density(), opt);
+  return kernel.render(request.spec);
+}
+
+const KernelRegistry& KernelRegistry::builtin() {
+  static const KernelRegistry reg = [] {
+    KernelRegistry r;
+    r.add("march", [](const KernelOptions& o) {
+      return std::make_unique<MarchingFieldKernel>(o.marching);
+    });
+    r.add("walk", [](const KernelOptions& o) {
+      return std::make_unique<WalkingFieldKernel>(o.walking);
+    });
+    r.add("tess", [](const KernelOptions& o) {
+      return std::make_unique<TessFieldKernel>(o.tess);
+    });
+    return r;
+  }();
+  return reg;
+}
+
+void KernelRegistry::add(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<FieldKernel> KernelRegistry::create(
+    const std::string& name, const KernelOptions& opt) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& n : names()) known += " " + n;
+    throw Error("unknown field kernel '" + name + "' (registered:" + known +
+                ")");
+  }
+  return it->second(opt);
+}
+
+}  // namespace dtfe::engine

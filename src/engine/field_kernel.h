@@ -1,0 +1,158 @@
+// Unified rendering contract for the surface-density kernels.
+//
+// The three estimators (marching — the paper's §IV-A kernel; walking — the
+// DTFE-public-software 3D-grid baseline, Cautun & van de Weygaert 2011;
+// tess — the zero-order Voronoi baseline) historically had divergent ad-hoc
+// signatures. FieldKernel puts them behind one
+//   render(cube, request, deadline, stats)
+// contract over a shared FieldCube (the triangulated particle cube), and
+// KernelRegistry makes them addressable by the strings the CLI and
+// EngineConfig already speak ("march" / "walk" / "tess"). New estimators
+// (GPU backends, multi-resolution kernels) plug in by registering a factory;
+// nothing in the stages changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "delaunay/hull_projection.h"
+#include "delaunay/triangulation.h"
+#include "dtfe/density.h"
+#include "dtfe/field.h"
+#include "dtfe/marching_kernel.h"
+#include "dtfe/tess_kernel.h"
+#include "dtfe/walking_kernel.h"
+#include "util/cancel.h"
+
+namespace dtfe::engine {
+
+/// The triangulated particle cube every kernel renders from: one Delaunay
+/// mesh plus its DTFE densities and hull silhouette, built once per work
+/// item and shared by whichever kernel (or audit) needs it. Construction
+/// throws dtfe::Error for degenerate inputs, exactly like the pieces it
+/// bundles.
+class FieldCube {
+ public:
+  /// `particles` should already be in canonical (deterministic) order when
+  /// bitwise reproducibility matters — the cube does not reorder them.
+  FieldCube(std::vector<Vec3> particles, double particle_mass,
+            const TriangulationOptions& topt = {});
+
+  const Triangulation& triangulation() const { return *tri_; }
+  const DensityField& density() const { return *density_; }
+  const HullProjection& hull() const { return *hull_; }
+  std::size_t n_particles() const { return points_.size(); }
+
+  /// Thread-CPU seconds spent in the Delaunay build alone (the pipeline
+  /// accounts triangulation and interpolation phases separately).
+  double triangulate_seconds() const { return tri_seconds_; }
+
+ private:
+  std::vector<Vec3> points_;
+  std::unique_ptr<Triangulation> tri_;
+  std::unique_ptr<DensityField> density_;
+  std::unique_ptr<HullProjection> hull_;
+  double tri_seconds_ = 0.0;
+};
+
+/// One resolved render request: where/how to evaluate the field, plus the
+/// stream seed (0 = keep the kernel's configured default seed).
+struct RenderRequest {
+  FieldSpec spec;
+  std::uint64_t seed = 0;
+};
+
+/// Kernel-agnostic health counters filled by render(). Kernels without a
+/// given notion leave the field at its default (ray_mass stays NaN for the
+/// walking/tess routes, which tells the audit layer to skip the mass check).
+struct KernelStats {
+  double ray_mass = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t failed_cells = 0;
+  std::uint64_t perturb_restarts = 0;
+};
+
+class FieldKernel {
+ public:
+  virtual ~FieldKernel() = default;
+  virtual const char* name() const = 0;
+  /// Render the request over the cube. `deadline` (may be null) is polled
+  /// cooperatively where the kernel supports cancellation; expiry surfaces
+  /// as a thrown dtfe::Error, like every other contained render failure.
+  virtual Grid2D render(const FieldCube& cube, const RenderRequest& request,
+                        const Deadline* deadline, KernelStats& stats) const = 0;
+};
+
+/// Per-kernel knobs a creation site may want to thread through the registry
+/// without knowing which kernel it is naming. Defaults reproduce each
+/// kernel's stock configuration.
+struct KernelOptions {
+  MarchingOptions marching;
+  WalkingOptions walking;
+  TessOptions tess;
+};
+
+class MarchingFieldKernel final : public FieldKernel {
+ public:
+  explicit MarchingFieldKernel(MarchingOptions base = {}) : base_(base) {}
+  const char* name() const override { return "march"; }
+  Grid2D render(const FieldCube& cube, const RenderRequest& request,
+                const Deadline* deadline, KernelStats& stats) const override;
+
+ private:
+  MarchingOptions base_;
+};
+
+class WalkingFieldKernel final : public FieldKernel {
+ public:
+  explicit WalkingFieldKernel(WalkingOptions base = {}) : base_(base) {}
+  const char* name() const override { return "walk"; }
+  Grid2D render(const FieldCube& cube, const RenderRequest& request,
+                const Deadline* deadline, KernelStats& stats) const override;
+
+ private:
+  WalkingOptions base_;
+};
+
+class TessFieldKernel final : public FieldKernel {
+ public:
+  explicit TessFieldKernel(TessOptions base = {}) : base_(base) {}
+  const char* name() const override { return "tess"; }
+  Grid2D render(const FieldCube& cube, const RenderRequest& request,
+                const Deadline* deadline, KernelStats& stats) const override;
+
+ private:
+  TessOptions base_;
+};
+
+/// String-keyed kernel factory table. builtin() carries march/walk/tess;
+/// custom registries (tests, plug-in backends) start empty.
+class KernelRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<FieldKernel>(const KernelOptions&)>;
+
+  KernelRegistry() = default;
+
+  /// The immutable process-wide registry of the built-in kernels.
+  static const KernelRegistry& builtin();
+
+  /// Register (or replace) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;  ///< sorted
+
+  /// Instantiate the named kernel. Throws dtfe::Error for unknown names.
+  std::unique_ptr<FieldKernel> create(const std::string& name,
+                                      const KernelOptions& opt = {}) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace dtfe::engine

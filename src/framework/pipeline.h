@@ -8,6 +8,10 @@
 //
 // Every rank reports its per-phase busy time measured with per-thread CPU
 // clocks, which is what the reproduction's scaling figures aggregate.
+//
+// This header keeps the pipeline's public TYPES and entry-point signatures;
+// the implementations live in the engine layer (src/engine/stages.cpp and
+// src/engine/pipeline.cpp), so callers of run_pipeline* link pdtfe_engine.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +43,10 @@ struct PipelineOptions {
   std::size_t min_particles = 32;
   std::size_t count_grid_cells = 48;///< particle-count index resolution
   std::uint64_t seed = 99;
+  /// Which registered field kernel renders every item (engine/field_kernel.h:
+  /// "march" — the paper's kernel and the bitwise-deterministic default —
+  /// "walk", or "tess"; unknown names throw when the first item runs).
+  std::string kernel = "march";
   // --- fault tolerance (see README "Fault tolerance") ---------------------
   /// Run the acknowledged work-package protocol plus the post-execution
   /// recovery phase. Off = the paper's original fire-and-forget exchange.

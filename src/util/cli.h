@@ -61,4 +61,26 @@ class CliArgs {
   std::map<std::string, std::string> values_;
 };
 
+/// The flag quartet every field-producing subcommand understands. Each
+/// command passes its own defaults (render: grid 512; pipeline: grid 64,
+/// length 5; lensing: grid 256, length 8) and ignores the fields it has no
+/// flag for — parsing stays in one place instead of three.
+struct CommonFieldFlags {
+  std::string in;      ///< --in: input snapshot path
+  std::size_t grid;    ///< --grid: output resolution (cells per side)
+  double length;       ///< --length: physical field side
+  std::string method;  ///< --method: kernel name ("march", "walk", ...)
+};
+
+inline CommonFieldFlags parse_common_field_flags(
+    const CliArgs& args, long default_grid, double default_length = 0.0,
+    const std::string& default_method = "march") {
+  CommonFieldFlags f;
+  f.in = args.get("in", std::string{});
+  f.grid = static_cast<std::size_t>(args.get("grid", default_grid));
+  f.length = args.get("length", default_length);
+  f.method = args.get("method", default_method);
+  return f;
+}
+
 }  // namespace dtfe
