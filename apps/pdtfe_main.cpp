@@ -12,6 +12,7 @@
 //                  [--trace-out t.json] [--report prefix]
 //                  [--fault-plan spec] [--max-retries 3]
 //                  [--comm-timeout-ms 2000] [--bad-particles reject|drop|clamp]
+//                  [--threads N] [--compute-ahead N]
 //   pdtfe lensing  --in snap.bin --out-prefix lens [--grid 256]
 //                  [--length 8] [--sigma-crit-frac 4]
 //   pdtfe spectrum --in snap.bin [--grid 64] [--bins 16]
@@ -208,7 +209,8 @@ int cmd_pipeline(const CliArgs& args) {
                     "balance", "metrics-out", "trace-out", "report",
                     "fault-plan", "max-retries", "comm-timeout-ms",
                     "bad-particles", "checkpoint-dir", "resume",
-                    "item-deadline-ms", "audit", "audit-fatal"});
+                    "item-deadline-ms", "audit", "audit-fatal", "threads",
+                    "compute-ahead"});
   ObsSession obs_session(args);
   // Crash diagnostics are on from the first byte read: a hard fault anywhere
   // in the run prints the in-flight items and a backtrace. Re-invoked below

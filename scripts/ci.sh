@@ -3,20 +3,27 @@
 # locally with no network access:
 #
 #   1. configure + build the default tree and run the full tier-1 ctest suite;
-#   2. rebuild under ThreadSanitizer (DTFE_SANITIZE=thread) and run the
-#      concurrency-sensitive suites — the fault-injection and durable-execution
-#      labels — against that build.
+#   2. perf-smoke: run scripts/run_bench.sh --smoke, validate the
+#      BENCH_kernel.json schema, and pin the machine-independent op counters
+#      (dtfe.delaunay.walk_steps, dtfe.kernel.tetra_crossings) against
+#      bench/perf_reference.json — a perf change that alters the WORK done
+#      must update the reference intentionally;
+#   3. rebuild under ThreadSanitizer (DTFE_SANITIZE=thread) and run the
+#      concurrency-sensitive suites — the fault-injection, durable-execution,
+#      and overlapped-executor labels — against that build.
 #
-# usage: ci.sh [--skip-tsan] [--jobs N]
+# usage: ci.sh [--skip-tsan] [--skip-perf] [--jobs N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 SKIP_TSAN=0
+SKIP_PERF=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --skip-tsan) SKIP_TSAN=1; shift ;;
+    --skip-perf) SKIP_PERF=1; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -35,6 +42,49 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "== engine: kernel/stage/batch contract suite"
 ctest --test-dir build --output-on-failure -L engine
 
+if [ "$SKIP_PERF" -eq 1 ]; then
+  echo "== perf-smoke: skipped (--skip-perf)"
+else
+  echo "== perf-smoke: benchmark trajectory + pinned op counters"
+  bash scripts/run_bench.sh --smoke --out build/BENCH_smoke.json
+  python3 - <<'PY'
+import json, sys
+
+with open("build/BENCH_smoke.json") as f:
+    doc = json.load(f)
+with open("bench/perf_reference.json") as f:
+    ref = json.load(f)
+
+# Schema gate: a bench-script change must not silently break consumers.
+for key in ("schema", "mode", "host", "micro_delaunay", "micro_kernels",
+            "pipeline"):
+    assert key in doc, f"BENCH_kernel.json missing top-level key {key!r}"
+assert doc["schema"] == "pdtfe-bench-v1", doc["schema"]
+for key in ("inserts_per_sec_reuse", "inserts_per_sec_noreuse",
+            "allocs_per_insert_reuse", "allocs_per_insert_noreuse"):
+    assert key in doc["micro_delaunay"], f"micro_delaunay missing {key!r}"
+for key in ("serial_wall_s", "overlap_wall_s", "speedup", "checksums_equal",
+            "op_counters"):
+    assert key in doc["pipeline"], f"pipeline missing {key!r}"
+assert doc["pipeline"]["checksums_equal"] is True, \
+    "overlapped pipeline checksum differs from serial"
+
+# Scratch reuse must actually reduce allocation churn.
+md = doc["micro_delaunay"]
+assert md["allocs_per_insert_reuse"] < md["allocs_per_insert_noreuse"], \
+    f"scratch reuse did not reduce allocations: {md}"
+
+# Pinned work counts: same fixture, same walk, same crossings — exactly.
+got = doc["pipeline"]["op_counters"]
+want = ref["op_counters"]
+for name, expect in want.items():
+    assert got.get(name) == expect, (
+        f"{name}: got {got.get(name)}, reference {expect} — the amount of "
+        "work changed; if intentional, regenerate bench/perf_reference.json")
+print("perf-smoke: schema valid, op counters match the reference")
+PY
+fi
+
 if [ "$SKIP_TSAN" -eq 1 ]; then
   echo "== tsan: skipped (--skip-tsan)"
   exit 0
@@ -45,9 +95,12 @@ cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDTFE_SANITIZE=thread >/dev/null
 cmake --build build-thread -j"$JOBS"
 
-echo "== tsan: fault + durable labels"
+echo "== tsan: fault + durable + engine labels"
 # TSAN_OPTIONS: fail the job on any report; second_deadlock_stack aids triage.
-TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-    ctest --test-dir build-thread --output-on-failure -L 'fault|durable'
+# The engine label carries the overlapped-executor determinism tests, so this
+# is also the data-race gate for the --compute-ahead pipeline. libgomp's
+# uninstrumented barriers need scripts/tsan.supp (see its header).
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/scripts/tsan.supp" \
+    ctest --test-dir build-thread --output-on-failure -L 'fault|durable|engine'
 
 echo "== ci: all green"

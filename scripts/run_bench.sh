@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Persistent benchmark trajectory: one command that measures the perf-critical
+# paths and writes a schema-stable BENCH_kernel.json at the repo root, so the
+# numbers ride along with the code and regressions show up in review diffs.
+#
+# Three measurements:
+#   (1) micro_delaunay insert-scratch A/B — inserts/sec and allocations per
+#       insert with and without TriangulationOptions::reuse_insert_scratch;
+#   (2) micro_kernels render throughput (marching + walking);
+#   (3) end-to-end `pdtfe pipeline` on a generated snapshot, serial
+#       (--compute-ahead=0) vs overlapped (--compute-ahead=4, all cores),
+#       asserting the grid checksums are EXACTLY equal and recording the
+#       wall-time speedup plus the machine-independent op counters
+#       (dtfe.delaunay.walk_steps, dtfe.kernel.tetra_crossings) that CI pins.
+#
+# usage: run_bench.sh [--smoke] [--out FILE]
+#   --smoke   small fixture + short benchmark reps (the CI perf-smoke job)
+#   --out     output path (default: BENCH_kernel.json at the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT="BENCH_kernel.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+BUILD=build
+[ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" --target pdtfe micro_delaunay micro_kernels \
+      -j"$(nproc)" >/dev/null
+PDTFE="$BUILD/apps/pdtfe"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+if [ "$SMOKE" = 1 ]; then
+  MODE=smoke N=40000 FIELDS=6 GRID=24 RANKS=2 MIN_TIME=0.05
+else
+  MODE=full N=120000 FIELDS=16 GRID=32 RANKS=2 MIN_TIME=0.2
+fi
+THREADS="$(nproc)"
+
+echo "== micro_delaunay (insert-scratch A/B)"
+"$BUILD/bench/micro_delaunay" \
+    --benchmark_filter='BM_DelaunayInsertScratch' \
+    --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$TMP/delaunay.json" 2>/dev/null
+
+echo "== micro_kernels (render throughput)"
+"$BUILD/bench/micro_kernels" \
+    --benchmark_filter='BM_MarchingRender|BM_WalkingRender' \
+    --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$TMP/kernels.json" 2>/dev/null
+
+echo "== end-to-end pipeline: serial vs overlapped ($THREADS cores)"
+SNAP="$TMP/snap.bin"
+"$PDTFE" generate --out "$SNAP" --n "$N" --box 16 --seed 3 >/dev/null
+"$PDTFE" pipeline --in "$SNAP" --ranks "$RANKS" --fields "$FIELDS" \
+    --grid "$GRID" --length 3 --compute-ahead 0 \
+    --report "$TMP/serial" --metrics-out "$TMP/serial_metrics.json" >/dev/null
+"$PDTFE" pipeline --in "$SNAP" --ranks "$RANKS" --fields "$FIELDS" \
+    --grid "$GRID" --length 3 --compute-ahead 4 --threads "$THREADS" \
+    --report "$TMP/overlap" --metrics-out "$TMP/overlap_metrics.json" >/dev/null
+
+python3 - "$TMP" "$OUT" "$MODE" "$N" "$FIELDS" "$RANKS" "$THREADS" <<'PY'
+import json, os, sys
+
+tmp, out, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+n, fields, ranks, threads = (int(v) for v in sys.argv[4:8])
+
+def load(name):
+    with open(os.path.join(tmp, name)) as f:
+        return json.load(f)
+
+dl = {b["name"]: b for b in load("delaunay.json")["benchmarks"]}
+reuse = dl["BM_DelaunayInsertScratch/20000/1"]
+noreuse = dl["BM_DelaunayInsertScratch/20000/0"]
+
+kernels = {}
+for b in load("kernels.json")["benchmarks"]:
+    kernels[b["name"]] = {
+        "real_time_ms": round(b["real_time"], 3)
+        if b["time_unit"] == "ms" else round(b["real_time"] / 1e6, 3),
+        "items_per_second": b.get("items_per_second"),
+    }
+
+serial = load("serial.json")["summary"]
+overlap = load("overlap.json")["summary"]
+sm = load("serial_metrics.json")
+om = load("overlap_metrics.json")
+
+checksums_equal = serial["grid_checksum_total"] == overlap["grid_checksum_total"]
+if not checksums_equal:
+    print("FATAL: overlapped checksum differs from serial", file=sys.stderr)
+
+doc = {
+    "schema": "pdtfe-bench-v1",
+    "mode": mode,
+    "host": {"cores": os.cpu_count(), "platform": os.uname().sysname},
+    "micro_delaunay": {
+        "inserts_per_sec_reuse": round(reuse["items_per_second"]),
+        "inserts_per_sec_noreuse": round(noreuse["items_per_second"]),
+        "allocs_per_insert_reuse": round(reuse["allocs_per_insert"], 6),
+        "allocs_per_insert_noreuse": round(noreuse["allocs_per_insert"], 6),
+    },
+    "micro_kernels": kernels,
+    "pipeline": {
+        "particles": n,
+        "fields": fields,
+        "ranks": ranks,
+        "threads": threads,
+        "compute_ahead": 4,
+        "serial_wall_s": round(serial["wall_s"], 4),
+        "overlap_wall_s": round(overlap["wall_s"], 4),
+        "speedup": round(serial["wall_s"] / overlap["wall_s"], 3),
+        "checksum_serial": serial["grid_checksum_total"],
+        "checksum_overlap": overlap["grid_checksum_total"],
+        "checksums_equal": checksums_equal,
+        "overlap_ratio": om["gauges"].get("dtfe.executor.overlap_ratio"),
+        "stall_seconds": om["counters"].get("dtfe.executor.stall_seconds"),
+        "op_counters": {
+            "dtfe.delaunay.walk_steps":
+                sm["counters"]["dtfe.delaunay.walk_steps"],
+            "dtfe.kernel.tetra_crossings":
+                sm["counters"]["dtfe.kernel.tetra_crossings"],
+        },
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out}: speedup {doc['pipeline']['speedup']}x on "
+      f"{threads} core(s), checksums_equal={checksums_equal}")
+sys.exit(0 if checksums_equal else 1)
+PY

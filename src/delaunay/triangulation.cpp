@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <numeric>
-#include <unordered_map>
+#include <utility>
 
 #include "geometry/aabb.h"
 #include "geometry/predicates.h"
@@ -108,18 +107,22 @@ Triangulation::Triangulation(std::span<const Vec3> points, Options opt)
   incident_cell_.assign(n, kNoCell);
 
   // Insertion order: Morton over the bounding box (BRIO-style locality).
+  // Sorting packed (key, index) pairs keeps the comparator cache-local; the
+  // index tie-break makes a plain std::sort reproduce the stable order
+  // bit-for-bit, so the insertion sequence is unchanged.
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), VertexId{0});
   if (opt.spatial_sort) {
     Aabb box = Aabb::of(points_);
     const double ext = std::max(box.max_extent(), 1e-300);
-    std::vector<std::uint64_t> keys(n);
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(n);
     for (std::size_t i = 0; i < n; ++i)
-      keys[i] = morton_key(points_[i].x, points_[i].y, points_[i].z,
-                           std::min({box.lo.x, box.lo.y, box.lo.z}), 1.0 / ext);
-    std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-      return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
-    });
+      keyed[i] = {morton_key(points_[i].x, points_[i].y, points_[i].z,
+                             std::min({box.lo.x, box.lo.y, box.lo.z}), 1.0 / ext),
+                  static_cast<std::uint32_t>(i)};
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 0; i < n; ++i)
+      order[i] = static_cast<VertexId>(keyed[i].second);
   }
 
   // First simplex: the first 4 affinely independent points in `order`.
@@ -141,6 +144,20 @@ Triangulation::Triangulation(std::span<const Vec3> points, Options opt)
   if (orient3d(points_[static_cast<std::size_t>(a)], points_[static_cast<std::size_t>(b)],
                points_[static_cast<std::size_t>(c)], points_[static_cast<std::size_t>(d)]) < 0.0)
     std::swap(c, d);
+
+  // Size the cell store up front: a 3D Delaunay triangulation of n points has
+  // ~6.7n finite cells plus hull cells, and the free list recycles transient
+  // cavity churn, so 7n slots covers the whole build without reallocating the
+  // (hot) cell array mid-insertion.
+  reuse_insert_scratch_ = opt.reuse_insert_scratch;
+  cells_.reserve(7 * n + 64);
+  if (reuse_insert_scratch_) {
+    conflict_cells_.reserve(64);
+    visited_.reserve(128);
+    boundary_.reserve(64);
+    cavity_edges_.reserve(192);
+  }
+
   init_first_cell(a, b, c, d);
   num_unique_ = 4;
 
@@ -304,6 +321,11 @@ Triangulation::LocateResult Triangulation::locate_from(
     c = cell(c).n[inf_slot];
   }
 
+  // Slot of the face we entered the current cell through, or -1. Its winding
+  // is the reverse of the face we just crossed (shared facet, opposite
+  // orientation), so p is strictly on its negative side — no need to re-test.
+  int entry_face = -1;
+
   // Walk-length accounting (dtfe.delaunay.walk_steps / .locates): emitted on
   // every exit path, including the failure throw, via the destructor.
   struct WalkCount {
@@ -329,9 +351,15 @@ Triangulation::LocateResult Triangulation::locate_from(
     bool moved = false;
     for (int k = 0; k < 4; ++k) {
       const int f = (k + r) & 3;
+      // Skipping the entry face drops ~1/4 of the orient3d calls while
+      // leaving the stochastic face order, the chosen exit face, and the
+      // walk_steps metric bitwise unchanged (the skipped test could only
+      // ever have answered "negative side").
+      if (f == entry_face) continue;
       const double o = orient3d(pts[kTetraFace[f][0]], pts[kTetraFace[f][1]],
                                 pts[kTetraFace[f][2]], p);
       if (o > 0.0) {
+        entry_face = mirror_index(c, f);
         c = t.n[f];
         moved = true;
         break;
@@ -356,10 +384,34 @@ VertexId Triangulation::insert(VertexId vid, CellId hint, CellId* last_created) 
   }
   ++num_unique_;
 
+  // Scratch selection: the persistent members when reuse is on (fast path),
+  // fresh locals otherwise — the allocate-per-insert behavior kept for the
+  // scratch-reuse A/B in bench/micro_delaunay.
+  std::vector<CellId> local_visited;
+  std::vector<BoundaryFacet> local_boundary;
+  std::vector<CavityEdge> local_edges;
+  std::vector<CellId>& visited = reuse_insert_scratch_ ? visited_ : local_visited;
+  std::vector<BoundaryFacet>& boundary =
+      reuse_insert_scratch_ ? boundary_ : local_boundary;
+  std::vector<CavityEdge>& edges =
+      reuse_insert_scratch_ ? cavity_edges_ : local_edges;
+  visited.clear();
+  boundary.clear();
+  edges.clear();
+
+  // Allocation accounting for bench/micro_delaunay: capacity snapshots of
+  // every container this insert can grow.
+  const std::size_t cap_cells = cells_.capacity();
+  const std::size_t cap_free = free_list_.capacity();
+  const std::size_t cap_mark = cell_mark_.capacity();
+  const std::size_t cap_conflict = conflict_cells_.capacity();
+  const std::size_t cap_visited = visited.capacity();
+  const std::size_t cap_boundary = boundary.capacity();
+  const std::size_t cap_edges = edges.capacity();
+
   // --- grow the conflict region by BFS from the located cell ---------------
   if (cell_mark_.size() < cells_.size() + 8) cell_mark_.resize(cells_.size() + 8, 0);
   conflict_cells_.clear();
-  std::vector<CellId> visited;  // every marked id, for cleanup
 
   DTFE_DCHECK(cell_in_conflict(loc.cell, p));
   conflict_cells_.push_back(loc.cell);
@@ -389,13 +441,6 @@ VertexId Triangulation::insert(VertexId vid, CellId hint, CellId* last_created) 
     obs::add(delaunay_metrics().conflict_cells,
              static_cast<double>(conflict_cells_.size()));
 
-  struct BoundaryFacet {
-    VertexId a, b, d;  // new cell base, already reversed to face the cavity
-    CellId outside;    // surviving neighbor
-    int outside_slot;  // slot in `outside` that pointed at the dead cell
-  };
-  std::vector<BoundaryFacet> boundary;
-
   for (std::size_t qi = 0; qi < conflict_cells_.size(); ++qi) {
     const CellId cc = conflict_cells_[qi];
     const Cell t = cell(cc);  // copy: cells_ may reallocate later, not here
@@ -415,12 +460,13 @@ VertexId Triangulation::insert(VertexId vid, CellId hint, CellId* last_created) 
   // --- retriangulate the cavity --------------------------------------------
   for (const CellId cc : conflict_cells_) free_cell(cc);
 
-  std::unordered_map<std::uint64_t, std::pair<CellId, int>> open_edges;
-  open_edges.reserve(boundary.size() * 2);
+  // Create all cavity cells first, collecting the open apex-face edges; each
+  // cavity edge is shared by exactly two boundary facets, so sorting the list
+  // and pairing adjacent equal keys wires the same adjacency the per-insert
+  // hash map used to — without its node allocations.
   CellId first_new = kNoCell;
   for (const BoundaryFacet& bf : boundary) {
     const CellId nc = new_cell();
-    if (cell_mark_.size() < cells_.size() + 8) cell_mark_.resize(cells_.size() + 8, 0);
     if (first_new == kNoCell) first_new = nc;
     Cell& t = cells_[static_cast<std::size_t>(nc)];
     // Reversed facet + apex keeps the cell positively oriented (see header).
@@ -428,30 +474,43 @@ VertexId Triangulation::insert(VertexId vid, CellId hint, CellId* last_created) 
     t.n[3] = bf.outside;
     cells_[static_cast<std::size_t>(bf.outside)].n[bf.outside_slot] = nc;
 
-    // Faces 0..2 contain the apex and one base edge each; match via edge map.
-    for (int k = 0; k < 3; ++k) {
-      const VertexId u = t.v[(k + 1) % 3];
-      const VertexId w = t.v[(k + 2) % 3];
-      const std::uint64_t key = edge_key(u, w);
-      const auto it = open_edges.find(key);
-      if (it == open_edges.end()) {
-        open_edges.emplace(key, std::make_pair(nc, k));
-      } else {
-        const auto [oc, ok] = it->second;
-        cells_[static_cast<std::size_t>(nc)].n[k] = oc;
-        cells_[static_cast<std::size_t>(oc)].n[ok] = nc;
-        open_edges.erase(it);
-      }
+    // Faces 0..2 contain the apex and one base edge each.
+    for (std::int32_t k = 0; k < 3; ++k) {
+      const VertexId u = t.v[static_cast<std::size_t>((k + 1) % 3)];
+      const VertexId w = t.v[static_cast<std::size_t>((k + 2) % 3)];
+      edges.push_back({edge_key(u, w), nc, k});
     }
     for (int s = 0; s < 4; ++s)
       if (t.v[s] != kInfinite)
         incident_cell_[static_cast<std::size_t>(t.v[s])] = nc;
   }
-  DTFE_CHECK_MSG(open_edges.empty(), "cavity boundary was not watertight");
+  std::sort(edges.begin(), edges.end(),
+            [](const CavityEdge& x, const CavityEdge& y) {
+              if (x.key != y.key) return x.key < y.key;
+              if (x.cell != y.cell) return x.cell < y.cell;
+              return x.slot < y.slot;
+            });
+  DTFE_CHECK_MSG((edges.size() & 1) == 0, "cavity boundary was not watertight");
+  for (std::size_t e = 0; e < edges.size(); e += 2) {
+    const CavityEdge& x = edges[e];
+    const CavityEdge& y = edges[e + 1];
+    DTFE_CHECK_MSG(x.key == y.key, "cavity boundary was not watertight");
+    cells_[static_cast<std::size_t>(x.cell)].n[x.slot] = y.cell;
+    cells_[static_cast<std::size_t>(y.cell)].n[y.slot] = x.cell;
+  }
 
   for (const CellId cid : visited) cell_mark_[static_cast<std::size_t>(cid)] = 0;
   hint_cell_ = first_new;
   if (last_created) *last_created = first_new;
+
+  alloc_events_ +=
+      static_cast<std::size_t>(cells_.capacity() != cap_cells) +
+      static_cast<std::size_t>(free_list_.capacity() != cap_free) +
+      static_cast<std::size_t>(cell_mark_.capacity() != cap_mark) +
+      static_cast<std::size_t>(conflict_cells_.capacity() != cap_conflict) +
+      static_cast<std::size_t>(visited.capacity() != cap_visited) +
+      static_cast<std::size_t>(boundary.capacity() != cap_boundary) +
+      static_cast<std::size_t>(edges.capacity() != cap_edges);
   return vid;
 }
 

@@ -36,6 +36,10 @@ using CellId = std::int32_t;
 struct TriangulationOptions {
   bool spatial_sort = true;  ///< Morton-order the insertion sequence
   bool verify = false;       ///< run full validation after build (tests)
+  /// Reuse the insertion scratch buffers (conflict-BFS queue, visited list,
+  /// boundary-facet list, cavity-edge list) across insertions. Off restores
+  /// the allocate-per-insert behavior for A/B runs in bench/micro_delaunay.
+  bool reuse_insert_scratch = true;
   /// Cooperative cancellation (borrowed; may be null = never cancel). The
   /// incremental insertion loop polls it and throws dtfe::Error on expiry.
   const Deadline* deadline = nullptr;
@@ -78,6 +82,11 @@ class Triangulation {
            t.v[3] == kInfinite;
   }
   std::size_t cell_storage_size() const { return cells_.size(); }
+  /// Container-growth events (capacity changes of the cell store and the
+  /// insertion scratch buffers) observed while inserting points. Divided by
+  /// the number of inserts this is the allocations-per-insert figure that
+  /// bench/micro_delaunay reports for the scratch-reuse A/B.
+  std::size_t alloc_events() const { return alloc_events_; }
 
   /// Slot (0..3) of vertex `v` in cell `c`; -1 if absent.
   int index_of(CellId c, VertexId v) const {
@@ -163,6 +172,19 @@ class Triangulation {
 
   friend class TriangulationBuilder;
 
+  /// Boundary facet of the conflict cavity, already reversed to face it.
+  struct BoundaryFacet {
+    VertexId a, b, d;  // new cell base
+    CellId outside;    // surviving neighbor
+    int outside_slot;  // slot in `outside` that pointed at the dead cell
+  };
+  /// Open cavity edge awaiting its partner during retriangulation.
+  struct CavityEdge {
+    std::uint64_t key;  // unordered vertex pair
+    CellId cell;
+    std::int32_t slot;
+  };
+
   bool cell_in_conflict(CellId c, const Vec3& p) const;
   VertexId insert(VertexId vid, CellId hint, CellId* last_created);
   CellId new_cell();
@@ -177,10 +199,15 @@ class Triangulation {
   std::size_t live_cells_ = 0;
   std::size_t cells_allocated_ = 0;  ///< new_cell() calls, incl. slot reuse
   std::size_t num_unique_ = 0;
+  std::size_t alloc_events_ = 0;  ///< container growth during insertion
+  bool reuse_insert_scratch_ = true;
 
   // scratch buffers reused across insertions
   mutable std::vector<CellId> conflict_cells_;
   mutable std::vector<std::int8_t> cell_mark_;  // 0 unknown, 1 conflict, 2 boundary-safe
+  std::vector<CellId> visited_;          // every marked id, for cleanup
+  std::vector<BoundaryFacet> boundary_;  // cavity surface of the current insert
+  std::vector<CavityEdge> cavity_edges_;  // open edges during retriangulation
   mutable std::uint64_t walk_rng_ = 0x9e3779b97f4a7c15ull;
   mutable CellId hint_cell_ = kNoCell;
 };

@@ -52,6 +52,12 @@ EngineConfig EngineConfig::from_cli(const CliArgs& args) {
   if (!KernelRegistry::builtin().contains(opt.kernel))
     throw Error("unknown --kernel " + opt.kernel);
 
+  // Intra-rank compute pipeline (engine/executor.h).
+  opt.compute_ahead = static_cast<int>(args.get("compute-ahead", 0L));
+  if (opt.compute_ahead < 0) throw Error("--compute-ahead must be >= 0");
+  opt.threads = static_cast<int>(args.get("threads", 0L));
+  if (opt.threads < 0) throw Error("--threads must be >= 0");
+
   cfg.fault_plan = simmpi::FaultPlan::parse(args.get("fault-plan",
                                                      std::string{}));
   return cfg;

@@ -1,0 +1,235 @@
+#include "engine/executor.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/phases.h"
+#include "framework/crash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace dtfe::engine {
+
+ThreadBudget plan_thread_budget(const PipelineOptions& opt,
+                                int ranks_in_process) {
+  ThreadBudget b;
+  const int total = opt.threads > 0 ? opt.threads : omp_get_max_threads();
+  b.budget = std::max(1, total / std::max(1, ranks_in_process));
+  if (opt.compute_ahead > 0) {
+    b.workers = std::clamp(std::min(opt.compute_ahead, b.budget - 1), 1, 8);
+    b.team = std::max(1, b.budget - b.workers);
+  } else {
+    b.workers = 0;
+    b.team = b.budget;
+  }
+  return b;
+}
+
+ThreadBudget configure_rank_threading(const PipelineOptions& opt,
+                                      int ranks_in_process) {
+  const ThreadBudget b = plan_thread_budget(opt, ranks_in_process);
+  // Per-thread ICVs: each SimMpi rank thread caps its own kernel team, so P
+  // rank teams plus the prepare pools together stay within --threads.
+  omp_set_num_threads(b.team);
+  omp_set_max_active_levels(1);  // never nest teams under the pool
+  return b;
+}
+
+/// One in-flight item: filled by a prepare worker, consumed (in submission
+/// order) by the rank thread. `ready` flips under Impl::mu.
+struct ItemExecutor::Slot {
+  ItemTask task;
+  PreparedItem prepared;
+  Deadline deadline;  ///< armed at prepare start; render polls the same one
+  std::exception_ptr error;
+  bool ready = false;
+};
+
+struct ItemExecutor::Impl {
+  std::mutex mu;
+  std::condition_variable cv_worker;  ///< workers wait for prepare work
+  std::condition_variable cv_main;    ///< rank thread waits for readiness
+  std::deque<std::shared_ptr<Slot>> prepare_queue;  ///< awaiting a worker
+  std::deque<std::shared_ptr<Slot>> commit_queue;   ///< submission order
+  std::vector<std::thread> workers;
+  bool stop = false;
+  // Overlap accounting (rank thread + workers; guarded by mu).
+  std::size_t queue_peak = 0;
+  std::size_t committed = 0;
+  double prepare_cpu_s = 0.0;
+  double stall_wall_s = 0.0;
+};
+
+ItemExecutor::ItemExecutor(StageContext& ctx)
+    : ctx_(ctx), window_(std::max(0, ctx.opt.compute_ahead)) {
+  ctx_.exec = this;
+  if (window_ == 0) return;
+  impl_ = std::make_unique<Impl>();
+  const int n_workers = std::max(1, ctx_.prepare_workers);
+  impl_->workers.reserve(static_cast<std::size_t>(n_workers));
+  for (int w = 0; w < n_workers; ++w) {
+    impl_->workers.emplace_back([this] {
+      obs::TraceRecorder::set_thread_rank(ctx_.me);
+      for (;;) {
+        std::shared_ptr<Slot> s;
+        {
+          std::unique_lock<std::mutex> lk(impl_->mu);
+          impl_->cv_worker.wait(lk, [this] {
+            return impl_->stop || !impl_->prepare_queue.empty();
+          });
+          if (impl_->stop) return;
+          s = impl_->prepare_queue.front();
+          impl_->prepare_queue.pop_front();
+        }
+        obs::TraceRecorder& tr = obs::TraceRecorder::global();
+        const double t0_us = tr.enabled() ? tr.now_us() : 0.0;
+        try {
+          std::vector<Vec3> cube = s->task.gather();
+          s->deadline = ctx_.make_deadline(s->task.pred_seconds);
+          const ScopedCrashItem in_flight(ctx_.me, s->task.request_index,
+                                          phases::kInFlightPrepare,
+                                          ctx_.state.crash);
+          s->prepared =
+              prepare_item(ctx_.state, std::move(cube), ctx_.particle_mass,
+                           s->task.center, ctx_.opt, &s->deadline);
+        } catch (...) {
+          s->error = std::current_exception();
+        }
+        if (tr.enabled())
+          tr.emit_complete(phases::kExecutorPrepare, phases::kExecutorCategory,
+                           t0_us, tr.now_us() - t0_us,
+                           {{"cpu_s", s->prepared.prep_cpu},
+                            {"n_particles", s->prepared.record.n_particles}});
+        {
+          std::lock_guard<std::mutex> lk(impl_->mu);
+          impl_->prepare_cpu_s += s->prepared.prep_cpu;
+          s->ready = true;
+        }
+        impl_->cv_main.notify_all();
+      }
+    });
+  }
+}
+
+ItemExecutor::~ItemExecutor() {
+  if (ctx_.exec == this) ctx_.exec = nullptr;
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+    // Abandon whatever was not committed: the stage is unwinding (rank kill
+    // or fatal audit) and nothing may be recorded out of order.
+    impl_->prepare_queue.clear();
+    impl_->commit_queue.clear();
+  }
+  impl_->cv_worker.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+void ItemExecutor::submit(ItemTask task) {
+  if (window_ == 0) {
+    // Serial path: byte-for-byte the legacy stage bodies (gather, arm the
+    // watchdog, flag the crash registry, compute, record).
+    std::vector<Vec3> cube = task.gather();
+    ItemRecord rec;
+    rec.fallback = task.fallback;
+    rec.recovered = task.recovered;
+    const Deadline deadline = ctx_.make_deadline(task.pred_seconds);
+    const ScopedCrashItem in_flight(ctx_.me, task.request_index,
+                                    task.crash_phase, ctx_.state.crash);
+    Grid2D grid =
+        compute_item(ctx_.state, std::move(cube), ctx_.particle_mass,
+                     task.center, ctx_.opt, rec, &deadline);
+    rec.request_index = task.request_index;
+    ctx_.record_item(std::move(rec), std::move(grid), task.pred_tri,
+                     task.pred_interp, task.received);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto s = std::make_shared<Slot>();
+    s->task = std::move(task);
+    impl_->prepare_queue.push_back(s);
+    impl_->commit_queue.push_back(std::move(s));
+    impl_->queue_peak = std::max(impl_->queue_peak, impl_->commit_queue.size());
+  }
+  impl_->cv_worker.notify_one();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (impl_->commit_queue.size() <= static_cast<std::size_t>(window_))
+        break;
+    }
+    commit_front();
+  }
+}
+
+void ItemExecutor::commit_front() {
+  std::shared_ptr<Slot> s;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    s = impl_->commit_queue.front();
+    impl_->commit_queue.pop_front();
+    if (!s->ready) {
+      obs::TraceRecorder& tr = obs::TraceRecorder::global();
+      const double t0_us = tr.enabled() ? tr.now_us() : 0.0;
+      WallTimer stall;
+      impl_->cv_main.wait(lk, [&s] { return s->ready; });
+      impl_->stall_wall_s += stall.seconds();
+      if (tr.enabled())
+        tr.emit_complete(phases::kExecutorStall, phases::kExecutorCategory,
+                         t0_us, tr.now_us() - t0_us, {});
+    }
+    ++impl_->committed;
+  }
+  if (s->error) std::rethrow_exception(s->error);
+
+  PreparedItem& p = s->prepared;
+  p.record.fallback = s->task.fallback;
+  p.record.recovered = s->task.recovered;
+  const ScopedCrashItem in_flight(ctx_.me, s->task.request_index,
+                                  s->task.crash_phase, ctx_.state.crash);
+  Grid2D grid = render_prepared(ctx_.state, p, ctx_.opt, &s->deadline);
+  p.record.request_index = s->task.request_index;
+  if (obs::metrics_enabled())
+    obs::add(ctx_.state.metrics->executor_items);
+  ctx_.record_item(std::move(p.record), std::move(grid), s->task.pred_tri,
+                   s->task.pred_interp, s->task.received);
+}
+
+void ItemExecutor::drain() {
+  if (!impl_) return;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (impl_->commit_queue.empty()) break;
+    }
+    commit_front();
+  }
+  if (obs::metrics_enabled() && impl_->committed > 0) {
+    const PipelineMetrics& m = *ctx_.state.metrics;
+    obs::add(m.executor_stall_s, impl_->stall_wall_s);
+    obs::add(m.executor_prepare_s, impl_->prepare_cpu_s);
+    obs::set(m.executor_queue_peak, static_cast<double>(impl_->queue_peak));
+    // Fraction of look-ahead prepare CPU hidden behind renders: 1 = the rank
+    // thread never waited, 0 = fully serial (stall ≥ prepare).
+    const double ratio =
+        impl_->prepare_cpu_s > 0.0
+            ? std::max(0.0, 1.0 - impl_->stall_wall_s / impl_->prepare_cpu_s)
+            : 1.0;
+    obs::set(m.executor_overlap_ratio, ratio);
+  }
+}
+
+}  // namespace dtfe::engine

@@ -1,0 +1,137 @@
+// Intra-rank task-parallel compute pipeline (the "overlapped item pipeline").
+//
+// The paper's per-item cost splits into an inherently serial incremental
+// Delaunay triangulation (c·n·log2 n) and an OpenMP-parallel interpolation
+// (α·n^β). ComputeStage used to run items strictly one at a time per rank,
+// so the kernel's whole thread team idled while the NEXT item's insertion
+// loop ran single-threaded. ItemExecutor overlaps the two: a small pool of
+// prepare workers gathers + triangulates up to `--compute-ahead` items while
+// the rank thread renders earlier ones.
+//
+// Determinism contract (PRs 3–4): grids, checkpoint journals, metrics, report
+// tags, and crash-registry entries must be bitwise identical to the serial
+// path under ANY interleaving. The executor guarantees this structurally:
+//   * per-item work (canonical cube sort, per-item kernel seed, render) is a
+//     pure function of the submitted inputs, unchanged from compute_item;
+//   * commits happen ONLY on the rank thread, strictly in submission order
+//     (commit_front pops the oldest item and blocks until its prepare is
+//     done), so the journal append order, the res.items order, and every
+//     record_item side effect replay the serial schedule exactly.
+//
+// Threading model (also in DESIGN.md "Threading model"): SimMpi runs each
+// rank as a std::thread, so a process hosts P rank threads. The per-rank
+// budget is threads/P (--threads, default the OpenMP global default). With
+// overlap on, each rank splits its budget into `workers` prepare threads and
+// a kernel team of budget − workers; workers never enter OpenMP regions, so
+// pool threads × OpenMP teams never multiply. configure_rank_threading()
+// pins the team size via the calling thread's OpenMP ICVs and disables
+// nested parallelism once per rank.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "engine/stages.h"
+
+namespace dtfe::engine {
+
+/// How one rank divides its thread budget (see file comment).
+struct ThreadBudget {
+  int budget = 1;   ///< threads available to this rank
+  int team = 1;     ///< OpenMP kernel team size for renders
+  int workers = 0;  ///< prepare-pool threads (0 = serial path)
+};
+
+/// Pure planning: budget = max(1, threads / ranks_in_process); with overlap,
+/// workers = min(compute_ahead, budget − 1) clamped to [1, 8] and the kernel
+/// team gets the rest. On a 1-thread budget the single worker rides the
+/// render's idle bubbles (cooperative oversubscription by one thread).
+ThreadBudget plan_thread_budget(const PipelineOptions& opt,
+                                int ranks_in_process);
+
+/// Apply the plan to the calling rank thread: cap its OpenMP team via the
+/// per-thread ICV and disable nested teams. Returns the plan so callers can
+/// record it (StageContext keeps the worker count for ItemExecutor).
+ThreadBudget configure_rank_threading(const PipelineOptions& opt,
+                                      int ranks_in_process);
+
+/// Everything prepare_item() produced for one item, handed from a prepare
+/// worker to the rank thread. When `done` is set the grid is already final
+/// (contained failure or an expected-empty zero field) and render_prepared
+/// only forwards it.
+struct PreparedItem {
+  ItemRecord record;
+  std::optional<FieldCube> cube;  ///< engaged iff a render is still needed
+  Grid2D grid;                    ///< the final grid when `done`
+  double prep_cpu = 0.0;          ///< thread-CPU seconds of the prepare
+  bool done = false;
+};
+
+/// The serial prefix of compute_item: input hardening, canonical cube sort,
+/// and the FieldCube build (triangulation + density + hull). Contained
+/// failures (degenerate cube, watchdog expiry) are finalized here. Safe to
+/// run on a pool thread: it touches only its arguments and the (thread-safe)
+/// metrics registry.
+PreparedItem prepare_item(const EngineState& state,
+                          std::vector<Vec3> cube_particles, double mass,
+                          const Vec3& center, const PipelineOptions& opt,
+                          const Deadline* deadline);
+
+/// The rest of compute_item: kernel render, audit, fatal-audit escalation,
+/// output hardening. Must run on the rank thread (it may throw to kill the
+/// rank, and its timing lands in the rank's PhaseTimes). Consumes `p`.
+Grid2D render_prepared(const EngineState& state, PreparedItem& p,
+                       const PipelineOptions& opt, const Deadline* deadline);
+
+/// One unit of work for the executor. `gather` materializes the particle
+/// cube (owner-index gather, unpacked package cube, or recovery re-fetch)
+/// and runs on the preparing thread, before the item's deadline is armed —
+/// matching the serial paths, where gathering is never under the watchdog.
+struct ItemTask {
+  std::function<std::vector<Vec3>()> gather;
+  Vec3 center;
+  std::ptrdiff_t request_index = -1;
+  double pred_seconds = 0.0;      ///< deadline budget basis
+  double pred_tri = 0.0;          ///< model prediction recorded on commit
+  double pred_interp = 0.0;
+  const char* crash_phase = nullptr;  ///< commit-path in-flight label
+  bool received = false;
+  bool fallback = false;
+  bool recovered = false;
+};
+
+/// Bounded-window overlapped scheduler for one stage of one rank. With
+/// compute_ahead == 0 it degenerates to the exact legacy serial path (no
+/// threads, compute_item inline). Not thread-safe: submit()/drain() are
+/// rank-thread only. The destructor abandons uncommitted work (used when an
+/// exception — audit_fatal, rank kill — unwinds the stage).
+class ItemExecutor {
+ public:
+  explicit ItemExecutor(StageContext& ctx);
+  ItemExecutor(const ItemExecutor&) = delete;
+  ItemExecutor& operator=(const ItemExecutor&) = delete;
+  ~ItemExecutor();
+
+  /// Enqueue one item; commits the oldest in-flight items on this thread
+  /// while more than `compute_ahead` are pending. May throw whatever
+  /// render_prepared throws (fatal audits) — in submission order.
+  void submit(ItemTask task);
+
+  /// Commit everything still in flight (in order) and publish the
+  /// dtfe.executor.* gauges. Must be called before the stage's results are
+  /// read; returns with the queue empty.
+  void drain();
+
+ private:
+  struct Slot;
+  struct Impl;
+
+  void commit_front();
+
+  StageContext& ctx_;
+  int window_ = 0;
+  std::unique_ptr<Impl> impl_;  ///< pool state; null when window_ == 0
+};
+
+}  // namespace dtfe::engine

@@ -8,6 +8,7 @@
 #include <span>
 #include <string>
 
+#include "engine/executor.h"
 #include "engine/field_kernel.h"
 #include "engine/phases.h"
 #include "framework/crash.h"
@@ -179,23 +180,31 @@ bool lex_less(const Vec3& a, const Vec3& b) {
 
 }  // namespace
 
-Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
-                    double mass, const Vec3& center,
-                    const PipelineOptions& opt, ItemRecord& record,
-                    const Deadline* deadline) {
+PreparedItem prepare_item(const EngineState& state,
+                          std::vector<Vec3> cube_particles, double mass,
+                          const Vec3& center, const PipelineOptions& opt,
+                          const Deadline* deadline) {
+  PreparedItem p;
+  ItemRecord& record = p.record;
   record.center = center;
   record.n_particles = static_cast<double>(cube_particles.size());
   auto contain = [&](const char* reason) {
     record.failed = true;
     record.fail_reason = reason;
     if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
-    return Grid2D(opt.field_resolution, opt.field_resolution);
+    p.grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    p.done = true;
   };
-  for (const Vec3& p : cube_particles)
-    if (!finite3(p)) return contain("non-finite particle position in cube");
+  for (const Vec3& q : cube_particles)
+    if (!finite3(q)) {
+      contain("non-finite particle position in cube");
+      return p;
+    }
   if (cube_particles.size() < opt.min_particles) {
     // An (almost) empty region is an expected zero field, not a failure.
-    return Grid2D(opt.field_resolution, opt.field_resolution);
+    p.grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    p.done = true;
+    return p;
   }
   // Canonical input order: the owner-gathered, shipped, re-fetched, and
   // re-read cubes hold the same particle SET in different orders; sorting
@@ -203,24 +212,57 @@ Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
   // identical across all of them.
   std::sort(cube_particles.begin(), cube_particles.end(), lex_less);
   ThreadCpuTimer t;
+  try {
+    TriangulationOptions topt;
+    topt.deadline = deadline;
+    p.cube.emplace(std::move(cube_particles), mass, topt);
+    record.actual_tri = p.cube->triangulate_seconds();
+  } catch (const Error& e) {
+    // Degenerate cube (e.g. all points coplanar) or a watchdog
+    // cancellation: contained as an empty field, as a production code must
+    // tolerate pathological requests.
+    record.actual_tri = t.seconds();
+    record.failed = true;
+    record.fail_reason = e.what();
+    record.cancelled =
+        record.fail_reason.find("deadline exceeded") != std::string::npos;
+    if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
+    p.grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    p.done = true;
+  }
+  p.prep_cpu = t.seconds();
+  return p;
+}
+
+Grid2D render_prepared(const EngineState& state, PreparedItem& p,
+                       const PipelineOptions& opt, const Deadline* deadline) {
+  if (p.done) return std::move(p.grid);
+  ItemRecord& record = p.record;
+  const Vec3 center = record.center;
+  auto contain = [&](const char* reason) {
+    record.failed = true;
+    record.fail_reason = reason;
+    if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
+    return Grid2D(opt.field_resolution, opt.field_resolution);
+  };
+  ThreadCpuTimer t;
   Grid2D grid;
   AuditResult audit;
   RenderRequest request;
   try {
-    TriangulationOptions topt;
-    topt.deadline = deadline;
-    const FieldCube cube(std::move(cube_particles), mass, topt);
-    record.actual_tri = cube.triangulate_seconds();
     request.spec =
         FieldSpec::centered(center, opt.field_length, opt.field_resolution);
     request.seed = item_seed(opt.seed, center);
     const std::unique_ptr<FieldKernel> kernel =
         state.kernels->create(opt.kernel);
     KernelStats stats;
-    grid = kernel->render(cube, request, deadline, stats);
+    grid = kernel->render(*p.cube, request, deadline, stats);
     // Density/hull construction rides inside the cube build, so it lands in
-    // the interpolation share, exactly as the pre-engine accounting did.
-    record.actual_interp = t.seconds() - record.actual_tri;
+    // the interpolation share, exactly as the pre-engine accounting did
+    // (prepare CPU minus the triangulation share, plus the render itself —
+    // valid across threads because both timers are per-thread CPU clocks
+    // over their own work).
+    record.actual_interp = (p.prep_cpu - record.actual_tri) + t.seconds();
     record.kernel_failed_cells = static_cast<double>(stats.failed_cells);
     record.kernel_perturb_restarts =
         static_cast<double>(stats.perturb_restarts);
@@ -229,14 +271,14 @@ Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
       std::uint64_t aseed = request.seed;
       aopt.seed = detail::splitmix64(aseed);  // same cells on replay
       audit = audit_field_item(grid, request.spec, stats.ray_mass,
-                               &cube.density(), &cube.hull(), aopt);
+                               &p.cube->density(), &p.cube->hull(), aopt);
       record.audit = audit.summary();
     }
   } catch (const Error& e) {
-    // Degenerate cube (e.g. all points coplanar) or a watchdog
-    // cancellation: contained as an empty field, as a production code must
-    // tolerate pathological requests.
-    record.actual_tri = t.seconds();
+    // Unknown kernel or a watchdog cancellation inside the render: contained
+    // exactly as the monolithic compute_item did, with the whole elapsed
+    // CPU attributed to actual_tri.
+    record.actual_tri = p.prep_cpu + t.seconds();
     record.failed = true;
     record.fail_reason = e.what();
     record.cancelled =
@@ -257,6 +299,22 @@ Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
   }
   for (const double v : grid.values())
     if (!std::isfinite(v)) return contain("non-finite value in rendered grid");
+  return grid;
+}
+
+Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
+                    double mass, const Vec3& center,
+                    const PipelineOptions& opt, ItemRecord& record,
+                    const Deadline* deadline) {
+  PreparedItem p = prepare_item(state, std::move(cube_particles), mass, center,
+                                opt, deadline);
+  // Callers pre-set path flags (fallback/recover) on `record` before the
+  // call; carry them into the prepared record the same way the executor's
+  // commit path does.
+  p.record.fallback = record.fallback;
+  p.record.recovered = record.recovered;
+  Grid2D grid = render_prepared(state, p, opt, deadline);
+  record = std::move(p.record);
   return grid;
 }
 
@@ -281,6 +339,10 @@ StageContext::StageContext(simmpi::Comm& comm_in, const PipelineOptions& opt_in,
       rng(opt_in.seed * 7919 + static_cast<std::uint64_t>(comm_in.rank())) {
   obs::TraceRecorder::set_thread_rank(me);
   obs::add(state.metrics->runs);
+  // Cap this rank thread's OpenMP team (and reserve the prepare pool's
+  // share) so P rank teams plus pool threads never oversubscribe; see
+  // engine/executor.h "Threading model".
+  prepare_workers = configure_rank_threading(opt, P).workers;
 }
 
 Deadline StageContext::make_deadline(double pred_seconds) const {
@@ -347,21 +409,33 @@ void StageContext::record_item(ItemRecord rec, Grid2D grid, double pred_tri,
 
 void StageContext::execute_local(std::size_t idx_in_remaining) {
   const std::size_t i = remaining[idx_in_remaining];
-  std::vector<std::uint32_t> ids;
-  index->gather_in_cube(my_requests[i], cube_side, ids);
-  std::vector<Vec3> cube;
-  cube.reserve(ids.size());
-  for (const auto id : ids) cube.push_back(local_particles[id]);
-  ItemRecord rec;
-  const Deadline deadline = make_deadline(res.model.predict(item_counts[i]));
-  const ScopedCrashItem in_flight(me, my_request_ids[i],
-                                  phases::kInFlightLocal, state.crash);
-  Grid2D grid = compute_item(state, std::move(cube), particle_mass,
-                             my_requests[i], opt, rec, &deadline);
-  rec.request_index = my_request_ids[i];
-  record_item(std::move(rec), std::move(grid),
-              res.model.predict_tri(item_counts[i]),
-              res.model.predict_interp(item_counts[i]), false);
+  ItemTask task;
+  // The gather runs on the preparing thread: GridIndex queries are const and
+  // local_particles is frozen after ExchangeStage, so concurrent look-ahead
+  // gathers are safe.
+  task.gather = [this, i] {
+    std::vector<std::uint32_t> ids;
+    index->gather_in_cube(my_requests[i], cube_side, ids);
+    std::vector<Vec3> cube;
+    cube.reserve(ids.size());
+    for (const auto id : ids) cube.push_back(local_particles[id]);
+    return cube;
+  };
+  task.center = my_requests[i];
+  task.request_index = my_request_ids[i];
+  task.pred_seconds = res.model.predict(item_counts[i]);
+  task.pred_tri = res.model.predict_tri(item_counts[i]);
+  task.pred_interp = res.model.predict_interp(item_counts[i]);
+  task.crash_phase = phases::kInFlightLocal;
+  if (exec) {
+    exec->submit(std::move(task));
+  } else {
+    // No stage-scoped executor (stage driven directly, e.g. from tests):
+    // run the item through a private one, serial or overlapped per opt.
+    ItemExecutor local(*this);
+    local.submit(std::move(task));
+    local.drain();
+  }
 }
 
 // ---- Stage 1: partitioning & redistribution + durable setup ---------------
@@ -581,6 +655,12 @@ void ComputeStage::run(StageContext& ctx) const {
                     res.model.predict_interp(ctx.item_counts[ti]), false);
   }
 
+  // Stage-scoped overlapped executor: every compute path below goes through
+  // submit(), which commits strictly in submission order — so the journal,
+  // metrics, and result bookkeeping replay the serial schedule exactly
+  // (bitwise), for any --compute-ahead window.
+  ItemExecutor exec(ctx);
+
   // A work package the sender keeps until the receiver acknowledges it; on
   // death, timeout, or give-up the sender unpacks it and computes the items
   // itself (degrading toward the paper's no-load-balance baseline).
@@ -602,20 +682,18 @@ void ComputeStage::run(StageContext& ctx) const {
       unpack_items(p.buf, req_ids, centers, cubes);
     }
     for (std::size_t i = 0; i < centers.size(); ++i) {
-      ItemRecord rec;
-      rec.fallback = true;
       const double n = static_cast<double>(cubes[i].size());
-      const Deadline deadline = ctx.make_deadline(res.model.predict(n));
-      const ScopedCrashItem in_flight(ctx.me, req_ids[i],
-                                      phases::kInFlightFallback,
-                                      ctx.state.crash);
-      Grid2D grid = compute_item(ctx.state, std::move(cubes[i]),
-                                 ctx.particle_mass, centers[i], opt, rec,
-                                 &deadline);
-      rec.request_index = req_ids[i];
-      ctx.record_item(std::move(rec), std::move(grid),
-                      res.model.predict_tri(n), res.model.predict_interp(n),
-                      false);
+      ItemTask task;
+      task.gather = [cube = std::make_shared<std::vector<Vec3>>(
+                         std::move(cubes[i]))] { return std::move(*cube); };
+      task.center = centers[i];
+      task.request_index = req_ids[i];
+      task.pred_seconds = res.model.predict(n);
+      task.pred_tri = res.model.predict_tri(n);
+      task.pred_interp = res.model.predict_interp(n);
+      task.crash_phase = phases::kInFlightFallback;
+      task.fallback = true;
+      exec.submit(std::move(task));
     }
   };
 
@@ -716,19 +794,18 @@ void ComputeStage::run(StageContext& ctx) const {
           unpack_items(buf, req_ids, centers, cubes);
         }
         for (std::size_t i = 0; i < centers.size(); ++i) {
-          ItemRecord rec;
           const double n = static_cast<double>(cubes[i].size());
-          const Deadline deadline = ctx.make_deadline(res.model.predict(n));
-          const ScopedCrashItem in_flight(ctx.me, req_ids[i],
-                                          phases::kInFlightReceived,
-                                          ctx.state.crash);
-          Grid2D grid = compute_item(ctx.state, std::move(cubes[i]),
-                                     ctx.particle_mass, centers[i], opt, rec,
-                                     &deadline);
-          rec.request_index = req_ids[i];
-          ctx.record_item(std::move(rec), std::move(grid),
-                          res.model.predict_tri(n), res.model.predict_interp(n),
-                          true);
+          ItemTask task;
+          task.gather = [cube = std::make_shared<std::vector<Vec3>>(
+                             std::move(cubes[i]))] { return std::move(*cube); };
+          task.center = centers[i];
+          task.request_index = req_ids[i];
+          task.pred_seconds = res.model.predict(n);
+          task.pred_tri = res.model.predict_tri(n);
+          task.pred_interp = res.model.predict_interp(n);
+          task.crash_phase = phases::kInFlightReceived;
+          task.received = true;
+          exec.submit(std::move(task));
           ++res.items_received;
         }
       };
@@ -782,6 +859,10 @@ void ComputeStage::run(StageContext& ctx) const {
       }
     }
   }
+
+  // Flush the in-flight window before the stage ends: RecoverStage's done
+  // lists and the final result must see every committed item.
+  exec.drain();
 }
 
 // ---- Recovery: recompute items lost with dead ranks ------------------------
@@ -819,24 +900,31 @@ void RecoverStage::run(StageContext& ctx) const {
   // the slot for every missing id, so the assignment is agreed without
   // another negotiation round.
   std::size_t slot = 0;
+  ItemExecutor exec(ctx);
   for (std::size_t gi = 0; gi < ctx.field_centers.size(); ++gi) {
     if (have[gi]) continue;
     const int who = live[slot++ % live.size()];
     if (who != ctx.me) continue;
     const Vec3 w = wrap_periodic(ctx.field_centers[gi], ctx.box);
-    ItemRecord rec;
-    rec.recovered = true;
+    // Fetch on the rank thread (CubeFetcher implementations are not required
+    // to be thread-safe); the executor still overlaps the triangulation of
+    // this cube with the render of the previous recovered item.
     std::vector<Vec3> cube = ctx.fetch_cube(w, ctx.cube_side);
     const double n = static_cast<double>(cube.size());
-    const Deadline deadline = ctx.make_deadline(res.model.predict(n));
-    const ScopedCrashItem in_flight(ctx.me, static_cast<std::int64_t>(gi),
-                                    phases::kInFlightRecover, ctx.state.crash);
-    Grid2D grid = compute_item(ctx.state, std::move(cube), ctx.particle_mass,
-                               w, opt, rec, &deadline);
-    rec.request_index = static_cast<std::ptrdiff_t>(gi);
-    ctx.record_item(std::move(rec), std::move(grid), res.model.predict_tri(n),
-                    res.model.predict_interp(n), false);
+    ItemTask task;
+    task.gather = [c = std::make_shared<std::vector<Vec3>>(std::move(cube))] {
+      return std::move(*c);
+    };
+    task.center = w;
+    task.request_index = static_cast<std::ptrdiff_t>(gi);
+    task.pred_seconds = res.model.predict(n);
+    task.pred_tri = res.model.predict_tri(n);
+    task.pred_interp = res.model.predict_interp(n);
+    task.crash_phase = phases::kInFlightRecover;
+    task.recovered = true;
+    exec.submit(std::move(task));
   }
+  exec.drain();
 }
 
 // ---- Final agreement -------------------------------------------------------

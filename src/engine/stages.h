@@ -38,6 +38,8 @@
 
 namespace dtfe::engine {
 
+class ItemExecutor;
+
 /// Everything one rank's pipeline run reads and produces, shared by the
 /// stages. Inputs are set at construction; the rest is filled as stages run.
 struct StageContext {
@@ -63,6 +65,14 @@ struct StageContext {
   double cube_side;
   double ghost_radius;
   Rng rng;  ///< model-sample pick (seeded exactly as the monolith did)
+  /// Prepare-pool size from configure_rank_threading (engine/executor.h);
+  /// the kernel-team cap is applied to this rank thread's OpenMP ICVs at
+  /// construction, so it needs no storage here.
+  int prepare_workers = 0;
+  /// The stage-scoped overlapped executor, when one is live (set/cleared by
+  /// ItemExecutor's constructor/destructor). execute_local falls back to a
+  /// private serial executor when null.
+  ItemExecutor* exec = nullptr;
 
   // --- produced by ExchangeStage -------------------------------------------
   std::optional<Decomposition> decomp;

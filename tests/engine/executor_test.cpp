@@ -1,0 +1,341 @@
+// Overlapped intra-rank pipeline test suite (ctest -L engine): the thread
+// budget planner, and the ItemExecutor determinism contract — grids,
+// checkpoint journals, watchdog containment, and fault recovery must be
+// bitwise identical between the serial path (--compute-ahead=0) and the
+// overlapped path, for every tested window size and thread budget.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "framework/pipeline.h"
+#include "nbody/generators.h"
+#include "nbody/particles.h"
+#include "simmpi/comm.h"
+#include "simmpi/fault.h"
+#include "util/rng.h"
+
+namespace dtfe {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+bool bitwise_equal(const Grid2D& a, const Grid2D& b) {
+  if (a.nx() != b.nx() || a.ny() != b.ny()) return false;
+  return std::memcmp(a.values().data(), b.values().data(),
+                     a.size() * sizeof(double)) == 0;
+}
+
+// ---- thread-budget planning -------------------------------------------------
+
+TEST(ThreadBudget, SerialWindowKeepsTheWholeBudgetForTheKernelTeam) {
+  PipelineOptions opt;
+  opt.compute_ahead = 0;
+  opt.threads = 8;
+  const engine::ThreadBudget b = engine::plan_thread_budget(opt, 2);
+  EXPECT_EQ(b.budget, 4);
+  EXPECT_EQ(b.workers, 0);
+  EXPECT_EQ(b.team, 4);
+}
+
+TEST(ThreadBudget, OverlapSplitsTheBudgetWithoutOversubscribing) {
+  PipelineOptions opt;
+  opt.compute_ahead = 2;
+  opt.threads = 8;
+  const engine::ThreadBudget b = engine::plan_thread_budget(opt, 2);
+  EXPECT_EQ(b.budget, 4);
+  EXPECT_EQ(b.workers, 2);
+  EXPECT_EQ(b.team, 2);
+  EXPECT_LE(b.workers + b.team, b.budget);  // pool x team never multiply
+}
+
+TEST(ThreadBudget, WindowLargerThanBudgetIsClampedToBudgetMinusOne) {
+  PipelineOptions opt;
+  opt.compute_ahead = 64;
+  opt.threads = 4;
+  const engine::ThreadBudget b = engine::plan_thread_budget(opt, 1);
+  EXPECT_EQ(b.budget, 4);
+  EXPECT_EQ(b.workers, 3);
+  EXPECT_EQ(b.team, 1);
+}
+
+TEST(ThreadBudget, OneThreadBudgetStillGetsOneCooperativeWorker) {
+  PipelineOptions opt;
+  opt.compute_ahead = 4;
+  opt.threads = 1;
+  const engine::ThreadBudget b = engine::plan_thread_budget(opt, 4);
+  EXPECT_EQ(b.budget, 1);
+  EXPECT_EQ(b.workers, 1);  // rides the render's idle bubbles
+  EXPECT_EQ(b.team, 1);
+}
+
+// ---- fixtures ---------------------------------------------------------------
+
+const ParticleSet& fixture_set() {
+  static const ParticleSet set = generate_uniform(4000, 10.0, 7);
+  return set;
+}
+
+std::vector<Vec3> fixture_centers() {
+  return {{5.0, 5.0, 5.0}, {2.5, 3.5, 6.5}, {7.5, 2.0, 4.0},
+          {3.0, 8.0, 8.0}, {6.0, 6.5, 3.0}, {4.5, 2.5, 7.0}};
+}
+
+PipelineOptions fixture_options() {
+  PipelineOptions opt;
+  opt.field_length = 3.0;
+  opt.field_resolution = 24;
+  opt.keep_grids = true;
+  return opt;
+}
+
+/// Run the pipeline on `ranks` simulated ranks and collect every completed
+/// grid by global request index.
+std::map<std::ptrdiff_t, Grid2D> run_grids(const ParticleSet& set,
+                                           const std::vector<Vec3>& centers,
+                                           const PipelineOptions& opt,
+                                           int ranks) {
+  std::mutex mtx;
+  std::map<std::ptrdiff_t, Grid2D> grids;
+  simmpi::run(ranks, [&](simmpi::Comm& c) {
+    const PipelineResult res = run_pipeline(c, set, centers, opt);
+    const std::lock_guard<std::mutex> lock(mtx);
+    for (std::size_t i = 0; i < res.items.size(); ++i)
+      if (res.items[i].request_index >= 0)
+        grids.emplace(res.items[i].request_index, res.grids[i]);
+  });
+  return grids;
+}
+
+// ---- bitwise identity: serial vs overlapped ---------------------------------
+
+// The acceptance criterion: for every tested (compute_ahead, threads) cell,
+// every grid is bitwise identical to the fully serial run. Commits happen
+// only on the rank thread in submission order, so nothing may differ.
+TEST(OverlapDeterminism, GridsBitwiseIdenticalAcrossWindowAndThreadMatrix) {
+  const ParticleSet& set = fixture_set();
+  const std::vector<Vec3> centers = fixture_centers();
+
+  PipelineOptions base = fixture_options();
+  base.compute_ahead = 0;
+  const auto reference = run_grids(set, centers, base, 2);
+  ASSERT_EQ(reference.size(), centers.size());
+
+  for (const int ahead : {0, 1, 4}) {
+    for (const int threads : {1, 2, 4}) {
+      PipelineOptions opt = base;
+      opt.compute_ahead = ahead;
+      opt.threads = threads;
+      const auto grids = run_grids(set, centers, opt, 2);
+      ASSERT_EQ(grids.size(), reference.size())
+          << "ahead=" << ahead << " threads=" << threads;
+      for (const auto& [id, ref] : reference) {
+        ASSERT_TRUE(grids.count(id))
+            << "ahead=" << ahead << " threads=" << threads << " field " << id;
+        EXPECT_TRUE(bitwise_equal(grids.at(id), ref))
+            << "ahead=" << ahead << " threads=" << threads << " field " << id;
+      }
+    }
+  }
+}
+
+// ---- checkpoint journals under overlap --------------------------------------
+
+std::map<std::string, std::string> journal_bytes(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("journal-rank-", 0) != 0) continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    out[name] = std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  return out;
+}
+
+// Commit order IS journal append order; the overlapped run must write the
+// exact same journal bytes as the serial run, rank by rank.
+TEST(OverlapDeterminism, CheckpointJournalsByteIdenticalUnderOverlap) {
+  const ParticleSet& set = fixture_set();
+  const std::vector<Vec3> centers = fixture_centers();
+
+  const ScratchDir serial_dir("pdtfe_exec_ckpt_serial");
+  const ScratchDir overlap_dir("pdtfe_exec_ckpt_overlap");
+
+  PipelineOptions opt = fixture_options();
+  opt.checkpoint_dir = serial_dir.path();
+  opt.compute_ahead = 0;
+  (void)run_grids(set, centers, opt, 2);
+
+  opt.checkpoint_dir = overlap_dir.path();
+  opt.compute_ahead = 4;
+  opt.threads = 4;
+  (void)run_grids(set, centers, opt, 2);
+
+  const auto serial = journal_bytes(serial_dir.path());
+  const auto overlap = journal_bytes(overlap_dir.path());
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), overlap.size());
+  for (const auto& [name, bytes] : serial) {
+    ASSERT_TRUE(overlap.count(name)) << name;
+    EXPECT_EQ(bytes, overlap.at(name)) << name << " journal bytes differ";
+  }
+}
+
+// ---- watchdog under overlap -------------------------------------------------
+
+// A prepare running ahead on a pool thread still honors its per-item
+// deadline: cancellations are contained (zero grid, no rank death) exactly
+// like the serial watchdog, and every request still completes.
+TEST(OverlapWatchdog, TinyDeadlineCancelsInFlightItemsWithoutKillingRanks) {
+  const ParticleSet& set = fixture_set();
+  const std::vector<Vec3> centers = fixture_centers();
+  PipelineOptions opt = fixture_options();
+  opt.item_deadline_ms = 0.01;  // everything with real work expires
+  opt.compute_ahead = 4;
+  opt.threads = 4;
+
+  std::mutex mtx;
+  std::size_t cancelled = 0;
+  std::set<std::ptrdiff_t> completed;
+  std::set<int> dead;
+  simmpi::run(2, [&](simmpi::Comm& c) {
+    const PipelineResult res = run_pipeline(c, set, centers, opt);
+    const std::lock_guard<std::mutex> lock(mtx);
+    cancelled += res.items_cancelled;
+    for (const ItemRecord& it : res.items)
+      if (it.request_index >= 0) completed.insert(it.request_index);
+    for (const int r : res.failed_ranks) dead.insert(r);
+  });
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_TRUE(dead.empty()) << "the watchdog must contain, not kill";
+  EXPECT_EQ(completed.size(), centers.size());
+}
+
+// ---- fault recovery under overlap -------------------------------------------
+
+/// Clustered workload (imbalanced on purpose) so work sharing produces a
+/// receiver this test can kill.
+ParticleSet clustered_set() {
+  ParticleSet set;
+  set.box_length = 32.0;
+  set.particle_mass = 1.0;
+  Rng rng(1234);
+  for (int i = 0; i < 20000; ++i)
+    set.positions.push_back({rng.uniform(5.0, 11.0), rng.uniform(5.0, 11.0),
+                             rng.uniform(5.0, 11.0)});
+  for (int o = 1; o < 8; ++o) {
+    const double ox = (o & 1) ? 16.0 : 0.0;
+    const double oy = (o & 2) ? 16.0 : 0.0;
+    const double oz = (o & 4) ? 16.0 : 0.0;
+    const int n = 4000 + 400 * o;
+    for (int i = 0; i < n; ++i)
+      set.positions.push_back({ox + rng.uniform(0.5, 15.5),
+                               oy + rng.uniform(0.5, 15.5),
+                               oz + rng.uniform(0.5, 15.5)});
+  }
+  return set;
+}
+
+std::vector<Vec3> clustered_centers() {
+  std::vector<Vec3> centers;
+  for (int ix = 0; ix < 3; ++ix)
+    for (int iy = 0; iy < 2; ++iy)
+      for (int iz = 0; iz < 2; ++iz)
+        centers.push_back({6.0 + 2.0 * ix, 7.0 + 2.0 * iy, 7.0 + 2.0 * iz});
+  for (int o = 1; o < 8; ++o) {
+    const double ox = (o & 1) ? 16.0 : 0.0;
+    const double oy = (o & 2) ? 16.0 : 0.0;
+    const double oz = (o & 4) ? 16.0 : 0.0;
+    centers.push_back({ox + 5.0, oy + 8.0, oz + 8.0});
+    centers.push_back({ox + 11.0, oy + 8.0, oz + 8.0});
+  }
+  return centers;
+}
+
+// Kill a work-sharing receiver mid-run with the overlapped pipeline on:
+// recovery (RecoverStage, also overlapped) must recompute the lost items to
+// grids bitwise identical to an undisturbed serial run.
+TEST(OverlapFaults, ReceiverKillRecoversBitwiseIdenticalToSerial) {
+  const ParticleSet set = clustered_set();
+  const std::vector<Vec3> centers = clustered_centers();
+  PipelineOptions serial_opt;
+  serial_opt.field_length = 3.0;
+  serial_opt.field_resolution = 16;
+  serial_opt.comm_timeout_ms = 500;
+  serial_opt.keep_grids = true;
+
+  // Undisturbed serial baseline; also discover a receiver to kill.
+  std::mutex mtx;
+  std::map<std::ptrdiff_t, Grid2D> baseline;
+  std::map<int, int> receiver_to_sender;
+  simmpi::run(4, [&](simmpi::Comm& c) {
+    const PipelineResult res = run_pipeline(c, set, centers, serial_opt);
+    const std::lock_guard<std::mutex> lock(mtx);
+    for (std::size_t i = 0; i < res.items.size(); ++i)
+      if (res.items[i].request_index >= 0)
+        baseline.emplace(res.items[i].request_index, res.grids[i]);
+    if (!res.schedule.recv_list.empty())
+      receiver_to_sender[c.rank()] = res.schedule.recv_list[0];
+  });
+  ASSERT_EQ(baseline.size(), centers.size());
+  ASSERT_FALSE(receiver_to_sender.empty())
+      << "the clustered workload produced no work-sharing receiver";
+
+  // Faulted overlapped run: the receiver dies at its first work-package
+  // operation; live ranks recover its items through the executor.
+  PipelineOptions overlap_opt = serial_opt;
+  overlap_opt.compute_ahead = 4;
+  overlap_opt.threads = 4;
+  const int receiver = receiver_to_sender.begin()->first;
+  const simmpi::FaultPlan plan = simmpi::FaultPlan::parse(
+      "kill:rank=" + std::to_string(receiver) + ",tag=200,at=1");
+  simmpi::RunOptions run_opts;
+  run_opts.fault_plan = &plan;
+  std::map<std::ptrdiff_t, Grid2D> recovered;
+  std::size_t items_recovered = 0;
+  std::set<int> dead;
+  simmpi::run(4, run_opts, [&](simmpi::Comm& c) {
+    const PipelineResult res = run_pipeline(c, set, centers, overlap_opt);
+    const std::lock_guard<std::mutex> lock(mtx);
+    items_recovered += res.items_recovered;
+    for (const int r : res.failed_ranks) dead.insert(r);
+    for (std::size_t i = 0; i < res.items.size(); ++i)
+      if (res.items[i].request_index >= 0)
+        recovered.emplace(res.items[i].request_index, res.grids[i]);
+  });
+  EXPECT_TRUE(dead.count(receiver)) << "the fault plan did not fire";
+  EXPECT_GT(items_recovered, 0u) << "nothing was recovered";
+  ASSERT_EQ(recovered.size(), centers.size());
+  for (const auto& [id, ref] : baseline) {
+    ASSERT_TRUE(recovered.count(id)) << "field " << id << " missing";
+    EXPECT_TRUE(bitwise_equal(recovered.at(id), ref))
+        << "field " << id << " not bitwise identical after overlap recovery";
+  }
+}
+
+}  // namespace
+}  // namespace dtfe
