@@ -13,6 +13,10 @@
 //                  [--fault-plan spec] [--max-retries 3]
 //                  [--comm-timeout-ms 2000] [--bad-particles reject|drop|clamp]
 //                  [--threads N] [--compute-ahead N]
+//   pdtfe launch   --in snap.bin [--ranks 3] [--transport socket] ...
+//                  (pipeline with --transport defaulting to socket: spawns
+//                  one worker process per rank; see README "Multi-process
+//                  execution")
 //   pdtfe lensing  --in snap.bin --out-prefix lens [--grid 256]
 //                  [--length 8] [--sigma-crit-frac 4]
 //   pdtfe spectrum --in snap.bin [--grid 64] [--bins 16]
@@ -37,6 +41,7 @@
 #include "core/dtfe.h"
 #include "dtfe/audit.h"
 #include "dtfe/lensing.h"
+#include "engine/multiproc.h"
 #include "engine/phases.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -97,7 +102,8 @@ struct ObsSession {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: pdtfe <generate|info|render|pipeline|lensing|spectrum> "
+               "usage: pdtfe "
+               "<generate|info|render|pipeline|launch|lensing|spectrum> "
                "[--flags]\n       see the header of apps/pdtfe_main.cpp\n");
   return 2;
 }
@@ -204,13 +210,19 @@ int cmd_render(const CliArgs& args) {
   return 0;
 }
 
-int cmd_pipeline(const CliArgs& args) {
+int cmd_pipeline(const CliArgs& args, bool default_transport_socket = false) {
   args.check_known({"in", "ranks", "fields", "length", "grid", "kernel",
                     "balance", "metrics-out", "trace-out", "report",
                     "fault-plan", "max-retries", "comm-timeout-ms",
                     "bad-particles", "checkpoint-dir", "resume",
                     "item-deadline-ms", "audit", "audit-fatal", "threads",
-                    "compute-ahead"});
+                    "compute-ahead", "transport", "heartbeat-interval-ms",
+                    "heartbeat-miss-limit", "worker-binary", "worker-rank",
+                    "socket-path", "worker-metrics"});
+  // Worker re-entry (engine/multiproc.h): a launcher spawned this process
+  // as one rank of a socket-transport run. Everything beyond the bootstrap
+  // flags arrives over the wire, so dispatch before any CLI-driven setup.
+  if (args.has("worker-rank")) return engine::run_worker_from_cli(args);
   ObsSession obs_session(args);
   // Crash diagnostics are on from the first byte read: a hard fault anywhere
   // in the run prints the in-flight items and a backtrace. Re-invoked below
@@ -224,6 +236,9 @@ int cmd_pipeline(const CliArgs& args) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  if (default_transport_socket && !args.has("transport"))
+    cfg.transport.kind = engine::TransportKind::kSocket;
+  const bool socket = cfg.transport.kind == engine::TransportKind::kSocket;
   const PipelineOptions& opt = cfg.pipeline;
 
   const ParticleSet set = read_snapshot(cfg.snapshot);
@@ -234,6 +249,9 @@ int cmd_pipeline(const CliArgs& args) {
     requests.push_back({groups[i].center});
   std::printf("%zu field requests on FOF objects, %d ranks\n", requests.size(),
               cfg.ranks);
+  if (socket)
+    std::printf("transport: socket (%d worker processes, heartbeat %d ms)\n",
+                cfg.ranks, cfg.transport.heartbeat_interval_ms);
 
   install_crash_handler(obs_session.report_prefix.empty()
                             ? std::string{}
@@ -337,6 +355,12 @@ int cmd_pipeline(const CliArgs& args) {
                 audit_level_name(opt.audit.level), tot_audited,
                 tot_audit_violations);
   std::printf("grid checksum total: %.9e\n", checksum_total);
+  const simmpi::TransportStats wire = eng.last_wire_stats();
+  if (socket && wire.messages > 0)
+    std::printf("wire: %llu messages, mean latency %.1f us, "
+                "mean payload %.0f bytes\n",
+                static_cast<unsigned long long>(wire.messages),
+                1e6 * wire.mean_latency_s(), wire.mean_bytes());
   if (!dead_ranks.empty()) {
     std::printf("ranks failed:");
     for (const int r : dead_ranks) std::printf(" %d", r);
@@ -368,6 +392,20 @@ int cmd_pipeline(const CliArgs& args) {
     report.add_summary("audit_violations",
                        static_cast<double>(tot_audit_violations));
     report.add_summary("grid_checksum_total", checksum_total);
+    report.add_summary("transport_socket", socket ? 1.0 : 0.0);
+    if (socket && wire.messages > 0) {
+      // Measured wire costs: the inputs framework/des reads back via
+      // load_des_calibration to ground the simulator in real latencies.
+      double intercept_s = 0.0, seconds_per_byte = 0.0;
+      wire.fit(intercept_s, seconds_per_byte);
+      report.add_summary("transport_messages",
+                         static_cast<double>(wire.messages));
+      report.add_summary("transport_msg_latency_mean_s",
+                         wire.mean_latency_s());
+      report.add_summary("transport_bytes_per_msg", wire.mean_bytes());
+      report.add_summary("transport_latency_intercept_s", intercept_s);
+      report.add_summary("transport_seconds_per_byte", seconds_per_byte);
+    }
     report.set_metrics(snap);
     const std::string jpath = obs_session.report_prefix + ".json";
     const std::string cpath = obs_session.report_prefix + ".csv";
@@ -441,6 +479,8 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "render") return cmd_render(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
+    if (cmd == "launch")
+      return cmd_pipeline(args, /*default_transport_socket=*/true);
     if (cmd == "lensing") return cmd_lensing(args);
     if (cmd == "spectrum") return cmd_spectrum(args);
     return usage();

@@ -42,6 +42,9 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "== engine: kernel/stage/batch contract suite"
 ctest --test-dir build --output-on-failure -L engine
 
+echo "== mp-smoke: socket transport (3 worker processes, one SIGKILLed)"
+bash scripts/run_mp_smoke.sh build/apps/pdtfe 3
+
 if [ "$SKIP_PERF" -eq 1 ]; then
   echo "== perf-smoke: skipped (--skip-perf)"
 else

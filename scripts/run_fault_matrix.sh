@@ -11,6 +11,11 @@
 # `--resume` run replays the surviving commits and reproduces the baseline
 # checksum EXACTLY (checkpoint restarts are bitwise deterministic).
 #
+# A transport column re-runs the fault-free baseline and the kill scenario
+# with --transport=socket (one worker PROCESS per rank; the kill becomes a
+# real SIGKILL) and asserts the checksum matches the thread baseline
+# EXACTLY — transport equivalence is bitwise, faults included.
+#
 # usage: run_fault_matrix.sh [pdtfe-binary] [--sanitize thread|address]
 #
 # With --sanitize the script configures and builds build-<san>/ with
@@ -121,6 +126,29 @@ for ranks in 4 8; do
       continue
     fi
     echo "   ok [$ranks ranks] '$plan'"
+  done
+
+  # Transport column: the same pipeline over worker processes must land on
+  # the thread baseline checksum exactly, with and without a worker SIGKILL.
+  for plan in "" "kill:rank=1,tag=200,at=1"; do
+    label="socket${plan:+ + '$plan'}"
+    if ! out="$(run_pipeline "$ranks" "$plan" --transport socket)"; then
+      echo "FAIL [$ranks ranks] $label: nonzero exit"
+      failures=$((failures + 1))
+      continue
+    fi
+    read -r completed total <<<"$(completed_of "$out")"
+    checksum="$(checksum_of "$out")"
+    if [ "$completed" != "$total" ] || [ "$total" != "$base_total" ]; then
+      echo "FAIL [$ranks ranks] $label: $completed/$total fields completed"
+      failures=$((failures + 1))
+    elif [ "$checksum" != "$base_checksum" ]; then
+      # Exact string equality: the socket transport is bitwise equivalent.
+      echo "FAIL [$ranks ranks] $label: checksum $checksum != $base_checksum"
+      failures=$((failures + 1))
+    else
+      echo "   ok [$ranks ranks] $label (checksum exact)"
+    fi
   done
 
   # Resume column: a checkpointed run interrupted by a rank kill, one journal

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Multi-process smoke: the socket transport's CI gate (README "Multi-process
+# execution", DESIGN.md §9).
+#
+#   1. thread-transport baseline run;
+#   2. socket run (one worker process per rank) — checksum must equal the
+#      baseline EXACTLY (transport equivalence is bitwise);
+#   3. socket run with a kill plan: one worker is SIGKILLed mid-item, the
+#      heartbeat/EOF detector must contain it, the survivors must recover
+#      its items, and the checksum must STILL equal the baseline.
+#
+# usage: run_mp_smoke.sh [pdtfe-binary] [ranks]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PDTFE="${1:-build/apps/pdtfe}"
+RANKS="${2:-3}"
+[ -x "$PDTFE" ] || { echo "pdtfe binary not found at $PDTFE" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+SNAP="$TMP/snap.bin"
+"$PDTFE" generate --out "$SNAP" --kind halo --n 40000 --box 64 --blocks 4 \
+    --seed 3 >/dev/null
+
+run_pipeline() { # $1 transport, rest extra args
+  local transport="$1"
+  shift
+  "$PDTFE" pipeline --in "$SNAP" --ranks "$RANKS" --fields 12 --length 5 \
+      --grid 48 --comm-timeout-ms 1000 --transport "$transport" "$@"
+}
+
+checksum_of() { printf '%s\n' "$1" | sed -n 's|^grid checksum total: \(.*\)|\1|p'; }
+completed_of() { printf '%s\n' "$1" | sed -n 's|^fields completed: \([0-9]*/[0-9]*\).*|\1|p'; }
+
+echo "== mp-smoke: thread baseline ($RANKS ranks)"
+base_out="$(run_pipeline thread)"
+base_checksum="$(checksum_of "$base_out")"
+base_completed="$(completed_of "$base_out")"
+[ -n "$base_checksum" ] || { echo "FAIL: no baseline checksum"; exit 1; }
+echo "   baseline: $base_completed fields, checksum $base_checksum"
+
+echo "== mp-smoke: socket transport ($RANKS worker processes)"
+sock_out="$(run_pipeline socket)"
+sock_checksum="$(checksum_of "$sock_out")"
+sock_completed="$(completed_of "$sock_out")"
+if [ "$sock_checksum" != "$base_checksum" ] || \
+   [ "$sock_completed" != "$base_completed" ]; then
+  echo "FAIL: socket run diverged (checksum '$sock_checksum' vs"
+  echo "      '$base_checksum', fields '$sock_completed' vs '$base_completed')"
+  printf '%s\n' "$sock_out"
+  exit 1
+fi
+echo "   ok: checksum identical to thread baseline"
+
+echo "== mp-smoke: socket transport with a SIGKILLed worker"
+kill_out="$(run_pipeline socket --fault-plan 'kill:rank=1,tag=200,at=1')"
+kill_checksum="$(checksum_of "$kill_out")"
+kill_completed="$(completed_of "$kill_out")"
+if [ "$kill_checksum" != "$base_checksum" ] || \
+   [ "$kill_completed" != "$base_completed" ]; then
+  echo "FAIL: kill run diverged (checksum '$kill_checksum' vs"
+  echo "      '$base_checksum', fields '$kill_completed' vs '$base_completed')"
+  printf '%s\n' "$kill_out"
+  exit 1
+fi
+if ! printf '%s\n' "$kill_out" | grep -q '^ranks failed: 1$'; then
+  echo "FAIL: killed worker was not reported as a failed rank"
+  printf '%s\n' "$kill_out"
+  exit 1
+fi
+echo "   ok: worker death detected, items recovered, checksum identical"
+
+echo "mp-smoke: all cases passed"

@@ -60,6 +60,26 @@ EngineConfig EngineConfig::from_cli(const CliArgs& args) {
 
   cfg.fault_plan = simmpi::FaultPlan::parse(args.get("fault-plan",
                                                      std::string{}));
+
+  // Transport selection (DESIGN.md §9).
+  const std::string transport = args.get("transport", std::string{"thread"});
+  if (transport == "thread") {
+    cfg.transport.kind = TransportKind::kThread;
+  } else if (transport == "socket") {
+    cfg.transport.kind = TransportKind::kSocket;
+  } else {
+    throw Error("unknown --transport " + transport +
+                " (expected thread or socket)");
+  }
+  cfg.transport.heartbeat_interval_ms =
+      static_cast<int>(args.get("heartbeat-interval-ms", 100L));
+  if (cfg.transport.heartbeat_interval_ms < 1)
+    throw Error("--heartbeat-interval-ms must be >= 1");
+  cfg.transport.heartbeat_miss_limit =
+      static_cast<int>(args.get("heartbeat-miss-limit", 20L));
+  if (cfg.transport.heartbeat_miss_limit < 1)
+    throw Error("--heartbeat-miss-limit must be >= 1");
+  cfg.transport.worker_binary = args.get("worker-binary", std::string{});
   return cfg;
 }
 

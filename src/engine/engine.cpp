@@ -18,8 +18,30 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
 Engine::Engine(EngineConfig config, ParticleSet particles)
     : config_(std::move(config)), particles_(std::move(particles)) {}
 
+void merge_rank_items(const PipelineResult& res,
+                      std::vector<FieldResult>& results) {
+  for (std::size_t k = 0; k < res.items.size(); ++k) {
+    const ItemRecord& it = res.items[k];
+    if (it.request_index < 0 ||
+        it.request_index >= static_cast<std::ptrdiff_t>(results.size()))
+      continue;
+    FieldResult& out = results[static_cast<std::size_t>(it.request_index)];
+    // First commit wins: any duplicate (fallback, recovery overlap) is a
+    // bitwise-identical recomputation of the same pure function.
+    if (out.completed) continue;
+    out.completed = true;
+    out.grid = res.grids[k];
+    out.checksum = it.grid_sum;
+    out.failed = it.failed;
+    out.fail_reason = it.fail_reason;
+  }
+}
+
 std::vector<FieldResult> Engine::run_batch(
     std::span<const FieldRequest> requests) {
+  wire_stats_ = simmpi::TransportStats{};
+  if (config_.transport.kind == TransportKind::kSocket)
+    return run_batch_socket(requests);
   std::vector<Vec3> centers;
   centers.reserve(requests.size());
   for (const FieldRequest& r : requests) centers.push_back(r.center);
@@ -77,21 +99,7 @@ std::vector<FieldResult> Engine::run_batch(
     }
 
     std::lock_guard<std::mutex> lock(mtx);
-    for (std::size_t k = 0; k < res.items.size(); ++k) {
-      const ItemRecord& it = res.items[k];
-      if (it.request_index < 0 ||
-          it.request_index >= static_cast<std::ptrdiff_t>(results.size()))
-        continue;
-      FieldResult& out = results[static_cast<std::size_t>(it.request_index)];
-      // First commit wins: any duplicate (fallback, recovery overlap) is a
-      // bitwise-identical recomputation of the same pure function.
-      if (out.completed) continue;
-      out.completed = true;
-      out.grid = res.grids[k];
-      out.checksum = it.grid_sum;
-      out.failed = it.failed;
-      out.fail_reason = it.fail_reason;
-    }
+    merge_rank_items(res, results);
     runs.push_back({comm.rank(), std::move(res)});
   });
 

@@ -27,6 +27,7 @@
 #include "framework/crash.h"
 #include "framework/pipeline.h"
 #include "nbody/particles.h"
+#include "simmpi/socket_transport.h"
 
 namespace dtfe::engine {
 
@@ -54,6 +55,14 @@ struct RankRun {
   PipelineResult result;
 };
 
+/// First-commit-wins merge of one rank's pipeline outcome into the batched
+/// results. Duplicate computations (fallback, recovery) of a request are
+/// bitwise identical by construction, so whichever rank commits first is
+/// authoritative. Shared by the thread and socket transports so both merge
+/// identically. Requires res.grids parallel to res.items (keep_grids).
+void merge_rank_items(const PipelineResult& res,
+                      std::vector<FieldResult>& results);
+
 class Engine {
  public:
   /// Snapshot-backed engine: every batch re-reads config.snapshot blocks
@@ -75,6 +84,13 @@ class Engine {
   /// rank. Ranks killed by a fault plan are absent.
   const std::vector<RankRun>& last_rank_runs() const { return rank_runs_; }
 
+  /// Wire-cost measurements merged from every worker of the most recent
+  /// socket-transport batch (all zeros after a thread batch). Feeds the
+  /// DES calibration summaries (framework/des.h).
+  const simmpi::TransportStats& last_wire_stats() const {
+    return wire_stats_;
+  }
+
   const EngineConfig& config() const { return config_; }
 
   /// Swap in a custom kernel registry (tests, plug-in estimators). The
@@ -83,12 +99,18 @@ class Engine {
   const KernelRegistry& kernels() const { return *kernels_; }
 
  private:
+  /// Multi-process path (engine/multiproc.cpp): spawn one worker process
+  /// per rank, route frames between them, merge their shipped-back results.
+  std::vector<FieldResult> run_batch_socket(
+      std::span<const FieldRequest> requests);
+
   EngineConfig config_;
   std::optional<ParticleSet> particles_;
   PipelineMetrics metrics_;     ///< engine-owned: no function-local statics
   CrashItemRegistry crash_;     ///< engine-owned crash-diagnostics slots
   const KernelRegistry* kernels_ = &KernelRegistry::builtin();
   std::vector<RankRun> rank_runs_;
+  simmpi::TransportStats wire_stats_{};
 };
 
 }  // namespace dtfe::engine

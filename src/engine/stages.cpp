@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/retry.h"
 #include "util/timer.h"
 
 namespace dtfe::engine {
@@ -697,6 +698,16 @@ void ComputeStage::run(StageContext& ctx) const {
     }
   };
 
+  // Shared retry bounds (util/retry.h): the sender's resend loop and the
+  // receiver's damaged-package loop below run off one policy instead of
+  // ad-hoc counters, so both transports bound and pace retries identically.
+  // The jitter seed mixes in the rank: deterministic per rank, decorrelated
+  // across ranks.
+  RetryPolicy retry_policy;
+  retry_policy.max_retries = opt.max_retries;
+  retry_policy.seed = 0x9e3779b97f4a7c15ull ^
+                      static_cast<std::uint64_t>(comm.rank());
+
   // Wait for one pending package's fate: OK (receiver computes it), RESEND
   // up to max_retries times, or fallback on give-up/timeout/death. Acks from
   // one receiver arrive in FIFO order, so the next relevant ack is for the
@@ -723,12 +734,15 @@ void ComputeStage::run(StageContext& ctx) const {
         return;
       }
       if (ack.code == kAckResend) {
-        if (++resends > opt.max_retries) {
+        if (retry_policy.exhausted(++resends)) {
           fallback_package(p);
           return;
         }
         ++res.package_retries;
         if (obs::metrics_enabled()) obs::add(ctx.state.metrics->retries);
+        // Pace resends on a struggling link; the receiver is blocked on
+        // its own timed recv, so the backoff cannot deadlock the pair.
+        retry_policy.backoff(resends);
         comm.send_vector<double>(p.receiver, kTagWork, p.buf);
         continue;
       }
@@ -849,7 +863,7 @@ void ComputeStage::run(StageContext& ctx) const {
           break;
         }
         ++attempts;
-        if (attempts > opt.max_retries) {
+        if (retry_policy.exhausted(attempts)) {
           // The sender keeps the package and computes it itself; it also
           // owns the packages_lost tally, so no counting here.
           comm.send_value(sender, kTagWorkAck, WorkAck{kAckGiveUp, -1});

@@ -1,16 +1,20 @@
+// Thread-backed CommBackend: every rank is a thread, every mailbox a
+// deque, and the FaultArbiter injects deaths/corruption deterministically.
+// The collectives and Comm surface below are transport-agnostic — they run
+// unchanged over the socket transport (socket_transport.cpp).
 #include "simmpi/comm.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <exception>
-#include <optional>
+#include <sstream>
 #include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simmpi/fault.h"
+#include "simmpi/mailbox.h"
 
 namespace dtfe::simmpi {
 
@@ -38,257 +42,81 @@ const CommMetrics& comm_metrics() {
   return m;
 }
 
-// Injected-fault tallies (README "Fault tolerance").
-struct FaultMetrics {
-  obs::MetricId ranks_killed = obs::counter("dtfe.fault.ranks_killed");
-  obs::MetricId dropped = obs::counter("dtfe.fault.messages_dropped");
-  obs::MetricId truncated = obs::counter("dtfe.fault.messages_truncated");
-  obs::MetricId bitflipped = obs::counter("dtfe.fault.messages_bitflipped");
-  obs::MetricId delayed = obs::counter("dtfe.fault.messages_delayed");
-  obs::MetricId rank_failed =
-      obs::counter("dtfe.fault.rank_failed_notifications");
-};
-
-const FaultMetrics& fault_metrics() {
-  static const FaultMetrics m;
-  return m;
-}
-
-/// Thrown into a rank's thread when the fault plan kills it. Deliberately
-/// NOT derived from dtfe::Error: library catch(const Error&) containment
-/// sites must not swallow an injected death mid-unwind.
-struct RankKilledSignal {};
-
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdull;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ull;
-  x ^= x >> 33;
-  return x;
-}
-}  // namespace
-
-class Runtime {
+/// The in-process transport: one Mailbox per rank, a shared FaultArbiter,
+/// and per-rank dead flags. Injected kills throw RankKilledSignal into the
+/// victim's thread; peers observe the death through the mailbox failure
+/// probe and the is_dead() queries.
+class Runtime final : public CommBackend {
  public:
-  using Clock = std::chrono::steady_clock;
+  using Clock = Mailbox::Clock;
 
   Runtime(int nranks, const FaultPlan* plan)
       : boxes_(static_cast<std::size_t>(nranks)),
         dead_(static_cast<std::size_t>(nranks)),
-        seed_(plan ? plan->seed : 1) {
-    if (plan)
-      for (const FaultRule& r : plan->rules) rules_.emplace_back(r);
-  }
+        arbiter_(plan) {}
 
-  int size() const { return static_cast<int>(boxes_.size()); }
+  int size() const override { return static_cast<int>(boxes_.size()); }
 
-  bool is_dead(int rank) const {
+  bool is_dead(int rank) const override {
     return dead_[static_cast<std::size_t>(rank)].load(
         std::memory_order_acquire);
   }
 
-  std::vector<int> failed_ranks() const {
-    std::vector<int> out;
-    for (int r = 0; r < size(); ++r)
-      if (is_dead(r)) out.push_back(r);
-    return out;
-  }
-
-  bool any_dead() const {
-    for (int r = 0; r < size(); ++r)
-      if (is_dead(r)) return true;
-    return false;
-  }
-
-  void send(int src, int dest, int tag, std::span<const std::byte> data) {
+  void send(int src, int dest, int tag,
+            std::span<const std::byte> data) override {
     DTFE_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
-    on_comm_call(src, tag);
+    kill_check(src, tag);
     std::vector<std::byte> payload(data.begin(), data.end());
-    Clock::duration delay{};
-    if (!apply_message_faults(src, dest, tag, payload, delay)) return;
+    std::uint64_t delay_ms = 0;
+    if (!arbiter_.apply_message_faults(src, dest, tag, payload, delay_ms))
+      return;  // dropped on the (simulated) wire
     if (is_dead(dest)) return;  // no one left to read it
-    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-    {
-      std::lock_guard<std::mutex> lock(box.mutex);
-      box.queue.push_back(
-          Message{src, tag, std::move(payload), Clock::now() + delay});
-    }
-    box.cv.notify_all();
+    boxes_[static_cast<std::size_t>(dest)].post(
+        src, tag, std::move(payload), std::chrono::milliseconds(delay_ms));
   }
 
-  /// Shared blocking/bounded receive. `deadline` empty = wait forever (well,
-  /// until a message or the source's death).
   RecvResult recv(int me, int source, int tag,
-                  std::optional<Clock::time_point> deadline) {
-    on_comm_call(me, tag);
-    Mailbox& box = boxes_[static_cast<std::size_t>(me)];
-    std::unique_lock<std::mutex> lock(box.mutex);
-    for (;;) {
-      const Clock::time_point now = Clock::now();
-      std::optional<Clock::time_point> next_ready;
-      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-        if ((source != kAnySource && it->src != source) || it->tag != tag)
-          continue;
-        if (it->ready_at > now) {
-          if (!next_ready || it->ready_at < *next_ready)
-            next_ready = it->ready_at;
-          continue;  // delayed delivery: not visible yet
-        }
-        RecvResult res;
-        res.status = RecvStatus::kOk;
-        res.source = it->src;
-        res.payload = std::move(it->payload);
-        box.queue.erase(it);
-        return res;
-      }
-      // Nothing deliverable now. If nothing is even in flight (delayed) and
-      // the awaited peer(s) are dead, report the failure instead of hanging.
-      if (!next_ready) {
-        if (source != kAnySource && is_dead(source))
-          return RecvResult{RecvStatus::kRankFailed, source, {}};
-        if (source == kAnySource && all_others_dead(me))
-          return RecvResult{RecvStatus::kRankFailed, -1, {}};
-      }
-      if (deadline && now >= *deadline)
-        return RecvResult{RecvStatus::kTimeout, -1, {}};
-      std::optional<Clock::time_point> wake = deadline;
-      if (next_ready && (!wake || *next_ready < *wake)) wake = next_ready;
-      if (wake)
-        box.cv.wait_until(lock, *wake);
-      else
-        box.cv.wait(lock);
-    }
+                  std::optional<Clock::time_point> deadline) override {
+    kill_check(me, tag);
+    return boxes_[static_cast<std::size_t>(me)].recv(
+        source, tag, deadline, [this, me, source]() -> std::optional<RecvResult> {
+          if (source != kAnySource && is_dead(source))
+            return RecvResult{RecvStatus::kRankFailed, source, {}};
+          if (source == kAnySource && all_others_dead(me))
+            return RecvResult{RecvStatus::kRankFailed, -1, {}};
+          return std::nullopt;
+        });
   }
 
-  bool iprobe(int me, int source, int tag) const {
-    const Mailbox& box = boxes_[static_cast<std::size_t>(me)];
-    const Clock::time_point now = Clock::now();
-    std::lock_guard<std::mutex> lock(box.mutex);
-    for (const Message& m : box.queue)
-      if ((source == kAnySource || m.src == source) && m.tag == tag &&
-          m.ready_at <= now)
-        return true;
-    return false;
+  bool iprobe(int me, int source, int tag) const override {
+    return boxes_[static_cast<std::size_t>(me)].iprobe(source, tag);
   }
 
  private:
-  struct Message {
-    int src;
-    int tag;
-    std::vector<std::byte> payload;
-    Clock::time_point ready_at;  ///< delayed-fault delivery time
-  };
-  struct Mailbox {
-    mutable std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-  };
-  /// A rule plus its match counter. Only one thread ever ADVANCES a given
-  /// rule (the victim for kills, the sending rank for message faults), but
-  /// every rank's scan READS all rules' state, so the mutable fields are
-  /// relaxed atomics — uncontended in practice, race-free formally.
-  struct LiveRule {
-    explicit LiveRule(const FaultRule& rule) : r(rule) {}
-    FaultRule r;
-    std::atomic<std::uint64_t> count{0};
-    std::atomic<bool> fired{false};
-  };
-
   bool all_others_dead(int me) const {
     for (int r = 0; r < size(); ++r)
       if (r != me && !is_dead(r)) return false;
     return size() > 1;
   }
 
-  /// Kill check: counts this rank's send/recv ops against matching kill
-  /// rules and, when one fires, marks the rank dead, wakes every blocked
-  /// peer, and unwinds the rank's thread.
-  void on_comm_call(int rank, int tag) {
-    if (rules_.empty()) return;
-    for (LiveRule& lr : rules_) {
-      if (lr.fired.load(std::memory_order_relaxed) ||
-          lr.r.action != FaultAction::kKill || lr.r.rank != rank)
-        continue;
-      if (lr.r.tag != -1 && lr.r.tag != tag) continue;
-      if (lr.count.fetch_add(1, std::memory_order_relaxed) + 1 < lr.r.at)
-        continue;
-      lr.fired.store(true, std::memory_order_relaxed);
-      dead_[static_cast<std::size_t>(rank)].store(true,
-                                                  std::memory_order_release);
-      if (obs::metrics_enabled()) obs::add(fault_metrics().ranks_killed);
-      // Wake everyone: blocked receivers re-check the dead flags. Locking
-      // each mailbox mutex around the notify closes the check-then-wait race.
-      for (Mailbox& box : boxes_) {
-        std::lock_guard<std::mutex> lock(box.mutex);
-        box.cv.notify_all();
-      }
-      throw RankKilledSignal{};
-    }
-  }
-
-  /// Applies drop/trunc/flip/delay rules to one outgoing message. Returns
-  /// false if the message must be discarded.
-  bool apply_message_faults(int src, int dst, int tag,
-                            std::vector<std::byte>& payload,
-                            Clock::duration& delay) {
-    bool keep = true;
-    for (LiveRule& lr : rules_) {
-      if (lr.fired.load(std::memory_order_relaxed) ||
-          lr.r.action == FaultAction::kKill)
-        continue;
-      if (lr.r.src != src || lr.r.dst != dst) continue;
-      if (lr.r.tag != -1 && lr.r.tag != tag) continue;
-      const std::uint64_t cnt =
-          lr.count.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (cnt < lr.r.nth) continue;
-      lr.fired.store(true, std::memory_order_relaxed);
-      const bool metrics = obs::metrics_enabled();
-      switch (lr.r.action) {
-        case FaultAction::kDrop:
-          if (metrics) obs::add(fault_metrics().dropped);
-          keep = false;
-          break;
-        case FaultAction::kTruncate: {
-          const std::size_t n =
-              lr.r.bytes > 0 ? static_cast<std::size_t>(lr.r.bytes)
-                             : payload.size() / 2;
-          payload.resize(std::min(payload.size(), n));
-          if (metrics) obs::add(fault_metrics().truncated);
-          break;
-        }
-        case FaultAction::kBitFlip: {
-          if (payload.empty()) break;
-          const std::uint64_t h = mix64(
-              seed_ ^ mix64((static_cast<std::uint64_t>(src) << 32) ^
-                            static_cast<std::uint64_t>(dst) ^
-                            (cnt << 16)));
-          const std::size_t b =
-              lr.r.byte >= 0 ? std::min(static_cast<std::size_t>(lr.r.byte),
-                                        payload.size() - 1)
-                             : static_cast<std::size_t>(h % payload.size());
-          const int bit = lr.r.bit >= 0 ? lr.r.bit
-                                        : static_cast<int>((h >> 32) % 8);
-          payload[b] ^= static_cast<std::byte>(1u << bit);
-          if (metrics) obs::add(fault_metrics().bitflipped);
-          break;
-        }
-        case FaultAction::kDelay:
-          delay = std::chrono::milliseconds(lr.r.delay_ms);
-          if (metrics) obs::add(fault_metrics().delayed);
-          break;
-        case FaultAction::kKill:
-          break;  // unreachable
-      }
-    }
-    return keep;
+  /// Kill check at the top of every send/recv: when the arbiter fires, mark
+  /// the rank dead, wake every blocked peer, and unwind the rank's thread.
+  void kill_check(int rank, int tag) {
+    if (!arbiter_.on_comm_op(rank, tag)) return;
+    dead_[static_cast<std::size_t>(rank)].store(true,
+                                                std::memory_order_release);
+    // Wake everyone: blocked receivers re-check the dead flags via their
+    // failure probe.
+    for (Mailbox& box : boxes_) box.notify();
+    throw RankKilledSignal{};
   }
 
   std::vector<Mailbox> boxes_;
   std::vector<std::atomic<bool>> dead_;
-  const std::uint64_t seed_;
-  std::deque<LiveRule> rules_;  // deque: LiveRule holds atomics (immovable)
+  FaultArbiter arbiter_;
 };
+
+}  // namespace
 
 int Comm::size() const { return rt_->size(); }
 
@@ -309,7 +137,7 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag,
                                         int* actual_source) {
   RecvResult res = rt_->recv(rank_, source, tag, std::nullopt);
   if (res.status == RecvStatus::kRankFailed) {
-    if (obs::metrics_enabled()) obs::add(fault_metrics().rank_failed);
+    count_rank_failed_notification();
     std::ostringstream os;
     os << "rank " << res.source << " failed while rank " << rank_
        << " awaited tag " << tag;
@@ -327,15 +155,13 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag,
 RecvResult Comm::recv_bytes_timeout(int source, int tag, int timeout_ms) {
   RecvResult res = rt_->recv(
       rank_, source, tag,
-      Runtime::Clock::now() + std::chrono::milliseconds(timeout_ms));
-  if (obs::metrics_enabled()) {
-    if (res.status == RecvStatus::kRankFailed) {
-      obs::add(fault_metrics().rank_failed);
-    } else if (res.status == RecvStatus::kOk) {
-      const CommMetrics& m = comm_metrics();
-      obs::add(m.messages_received);
-      obs::add(m.bytes_received, static_cast<double>(res.payload.size()));
-    }
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms));
+  if (res.status == RecvStatus::kRankFailed) {
+    count_rank_failed_notification();
+  } else if (res.status == RecvStatus::kOk && obs::metrics_enabled()) {
+    const CommMetrics& m = comm_metrics();
+    obs::add(m.messages_received);
+    obs::add(m.bytes_received, static_cast<double>(res.payload.size()));
   }
   return res;
 }

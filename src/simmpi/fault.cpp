@@ -1,12 +1,39 @@
 #include "simmpi/fault.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace dtfe::simmpi {
 
 namespace {
+
+// Injected-fault tallies (README "Fault tolerance").
+struct FaultMetrics {
+  obs::MetricId ranks_killed = obs::counter("dtfe.fault.ranks_killed");
+  obs::MetricId dropped = obs::counter("dtfe.fault.messages_dropped");
+  obs::MetricId truncated = obs::counter("dtfe.fault.messages_truncated");
+  obs::MetricId bitflipped = obs::counter("dtfe.fault.messages_bitflipped");
+  obs::MetricId delayed = obs::counter("dtfe.fault.messages_delayed");
+  obs::MetricId rank_failed =
+      obs::counter("dtfe.fault.rank_failed_notifications");
+};
+
+const FaultMetrics& fault_metrics() {
+  static const FaultMetrics m;
+  return m;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
 
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> out;
@@ -120,6 +147,134 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     plan.rules.push_back(rule);
   }
   return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultRule& r : rules) {
+    if (!out.empty()) out += ';';
+    const auto kv = [&out](const char* key, std::int64_t v) {
+      out += ',';
+      out += key;
+      out += '=';
+      out += std::to_string(v);
+    };
+    switch (r.action) {
+      case FaultAction::kKill:
+        out += "kill:rank=" + std::to_string(r.rank);
+        kv("at", static_cast<std::int64_t>(r.at));
+        if (r.tag != -1) kv("tag", r.tag);
+        continue;
+      case FaultAction::kDrop:
+        out += "drop:src=" + std::to_string(r.src);
+        break;
+      case FaultAction::kTruncate:
+        out += "trunc:src=" + std::to_string(r.src);
+        break;
+      case FaultAction::kBitFlip:
+        out += "flip:src=" + std::to_string(r.src);
+        break;
+      case FaultAction::kDelay:
+        out += "delay:src=" + std::to_string(r.src);
+        break;
+    }
+    kv("dst", r.dst);
+    kv("nth", static_cast<std::int64_t>(r.nth));
+    if (r.tag != -1) kv("tag", r.tag);
+    if (r.action == FaultAction::kTruncate && r.bytes > 0)
+      kv("bytes", static_cast<std::int64_t>(r.bytes));
+    if (r.action == FaultAction::kBitFlip) {
+      if (r.byte >= 0) kv("byte", r.byte);
+      if (r.bit >= 0) kv("bit", r.bit);
+    }
+    if (r.action == FaultAction::kDelay)
+      kv("ms", static_cast<std::int64_t>(r.delay_ms));
+  }
+  if (!rules.empty() || seed != 1) {
+    if (!out.empty()) out += ';';
+    out += "seed=" + std::to_string(seed);
+  }
+  return out;
+}
+
+FaultArbiter::FaultArbiter(const FaultPlan* plan)
+    : seed_(plan ? plan->seed : 1) {
+  if (plan)
+    for (const FaultRule& r : plan->rules) rules_.emplace_back(r);
+}
+
+bool FaultArbiter::on_comm_op(int rank, int tag) {
+  if (rules_.empty()) return false;
+  for (LiveRule& lr : rules_) {
+    if (lr.fired.load(std::memory_order_relaxed) ||
+        lr.r.action != FaultAction::kKill || lr.r.rank != rank)
+      continue;
+    if (lr.r.tag != -1 && lr.r.tag != tag) continue;
+    if (lr.count.fetch_add(1, std::memory_order_relaxed) + 1 < lr.r.at)
+      continue;
+    lr.fired.store(true, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) obs::add(fault_metrics().ranks_killed);
+    return true;
+  }
+  return false;
+}
+
+bool FaultArbiter::apply_message_faults(int src, int dst, int tag,
+                                        std::vector<std::byte>& payload,
+                                        std::uint64_t& delay_ms) {
+  bool keep = true;
+  for (LiveRule& lr : rules_) {
+    if (lr.fired.load(std::memory_order_relaxed) ||
+        lr.r.action == FaultAction::kKill)
+      continue;
+    if (lr.r.src != src || lr.r.dst != dst) continue;
+    if (lr.r.tag != -1 && lr.r.tag != tag) continue;
+    const std::uint64_t cnt =
+        lr.count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cnt < lr.r.nth) continue;
+    lr.fired.store(true, std::memory_order_relaxed);
+    const bool metrics = obs::metrics_enabled();
+    switch (lr.r.action) {
+      case FaultAction::kDrop:
+        if (metrics) obs::add(fault_metrics().dropped);
+        keep = false;
+        break;
+      case FaultAction::kTruncate: {
+        const std::size_t n = lr.r.bytes > 0
+                                  ? static_cast<std::size_t>(lr.r.bytes)
+                                  : payload.size() / 2;
+        payload.resize(std::min(payload.size(), n));
+        if (metrics) obs::add(fault_metrics().truncated);
+        break;
+      }
+      case FaultAction::kBitFlip: {
+        if (payload.empty()) break;
+        const std::uint64_t h = mix64(
+            seed_ ^ mix64((static_cast<std::uint64_t>(src) << 32) ^
+                          static_cast<std::uint64_t>(dst) ^ (cnt << 16)));
+        const std::size_t b =
+            lr.r.byte >= 0 ? std::min(static_cast<std::size_t>(lr.r.byte),
+                                      payload.size() - 1)
+                           : static_cast<std::size_t>(h % payload.size());
+        const int bit =
+            lr.r.bit >= 0 ? lr.r.bit : static_cast<int>((h >> 32) % 8);
+        payload[b] ^= static_cast<std::byte>(1u << bit);
+        if (metrics) obs::add(fault_metrics().bitflipped);
+        break;
+      }
+      case FaultAction::kDelay:
+        delay_ms = lr.r.delay_ms;
+        if (metrics) obs::add(fault_metrics().delayed);
+        break;
+      case FaultAction::kKill:
+        break;  // unreachable
+    }
+  }
+  return keep;
+}
+
+void count_rank_failed_notification() {
+  if (obs::metrics_enabled()) obs::add(fault_metrics().rank_failed);
 }
 
 }  // namespace dtfe::simmpi

@@ -28,7 +28,10 @@
 // Example: "kill:rank=2,tag=200,at=1;drop:src=0,dst=3,nth=1;seed=7"
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -60,6 +63,62 @@ struct FaultPlan {
   /// Parse the spec grammar above. Throws dtfe::Error with the offending
   /// clause on malformed input. An empty spec parses to an empty plan.
   static FaultPlan parse(const std::string& spec);
+
+  /// Inverse of parse: a spec string that round-trips this plan. Used to
+  /// hand a launcher's plan to its worker processes on their command line.
+  std::string to_spec() const;
 };
+
+/// Thrown into a rank's thread when the fault plan kills it (thread
+/// transport; the socket transport raises SIGKILL instead). Deliberately
+/// NOT derived from dtfe::Error: library catch(const Error&) containment
+/// sites must not swallow an injected death mid-unwind.
+struct RankKilledSignal {};
+
+/// Executes a FaultPlan against a stream of comm operations. Shared by both
+/// transports: the thread Runtime holds one arbiter for all ranks; each
+/// socket worker process holds its own. Worker-local instances replay
+/// identically to the shared one because message-fault rules name an
+/// explicit (src, dst) pair — only the sending rank ever advances such a
+/// rule — and kill rules only advance on the victim's own ops.
+class FaultArbiter {
+ public:
+  /// `plan` may be null (no faults) and is borrowed for the arbiter's life.
+  explicit FaultArbiter(const FaultPlan* plan);
+
+  bool enabled() const { return !rules_.empty(); }
+
+  /// Count one send/recv operation of `rank` against the kill rules.
+  /// Returns true when a kill fires: the caller must then make the death
+  /// real (mark the rank dead and unwind, or SIGKILL the process). Also
+  /// bumps dtfe.fault.ranks_killed.
+  bool on_comm_op(int rank, int tag);
+
+  /// Apply drop/trunc/flip/delay rules to one outgoing message, mutating
+  /// `payload` in place and setting `delay_ms` for delay rules. Returns
+  /// false if the message must be discarded (drop).
+  bool apply_message_faults(int src, int dst, int tag,
+                            std::vector<std::byte>& payload,
+                            std::uint64_t& delay_ms);
+
+ private:
+  /// A rule plus its match counter. Only one thread ever ADVANCES a given
+  /// rule (the victim for kills, the sending rank for message faults), but
+  /// every rank's scan READS all rules' state, so the mutable fields are
+  /// relaxed atomics — uncontended in practice, race-free formally.
+  struct LiveRule {
+    explicit LiveRule(const FaultRule& rule) : r(rule) {}
+    FaultRule r;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<bool> fired{false};
+  };
+
+  const std::uint64_t seed_;
+  std::deque<LiveRule> rules_;  // deque: LiveRule holds atomics (immovable)
+};
+
+/// Bump dtfe.fault.rank_failed_notifications (no-op with metrics disabled).
+/// Called by both transports when a receive surfaces a dead peer.
+void count_rank_failed_notification();
 
 }  // namespace dtfe::simmpi

@@ -1,0 +1,156 @@
+#include "simmpi/frame.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace dtfe::simmpi {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50445446u;  // "PDTF"
+// Anything bigger than this is a desynchronized stream, not a real payload
+// (the largest legitimate frames are serialized result grids, well under it).
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+/// On-wire header. Both ends are the same binary on the same host, so the
+/// struct's memory layout IS the wire format; the static_asserts pin it.
+struct WireHeader {
+  std::uint32_t magic;
+  std::uint32_t payload_size;
+  std::uint64_t sent_ns;
+  std::int32_t tag;
+  std::uint32_t delay_ms;
+  std::uint32_t crc;
+  std::uint16_t type;
+  std::int16_t src;
+  std::int16_t dst;
+  std::int16_t reserved;
+};
+static_assert(sizeof(WireHeader) == 40);
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Read exactly n bytes. Returns 1 on success, 0 on EOF before any byte
+/// (clean close at a boundary only if n bytes were expected from offset 0),
+/// -1 on error or short close.
+int read_full(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  char* p = static_cast<char*>(buf);
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) return got == 0 ? 0 : -1;  // mid-frame EOF is an error
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  std::size_t sent = 0;
+  const char* p = static_cast<const char*>(buf);
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE. Non-socket fds (tests write frames to pipes)
+    // fall back to plain write.
+    ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, p + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  const auto& t = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::byte b : data)
+    c = t[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool write_frame(int fd, const Frame& f) {
+  WireHeader h{};
+  h.magic = kMagic;
+  h.payload_size = static_cast<std::uint32_t>(f.payload.size());
+  h.sent_ns = f.sent_ns;
+  h.tag = f.tag;
+  h.delay_ms = f.delay_ms;
+  h.crc = crc32(f.payload);
+  h.type = static_cast<std::uint16_t>(f.type);
+  h.src = static_cast<std::int16_t>(f.src);
+  h.dst = static_cast<std::int16_t>(f.dst);
+  h.reserved = 0;
+  if (!write_full(fd, &h, sizeof(h))) return false;
+  if (!f.payload.empty() &&
+      !write_full(fd, f.payload.data(), f.payload.size()))
+    return false;
+  return true;
+}
+
+FrameReadStatus read_frame(int fd, Frame& out) {
+  WireHeader h{};
+  const int r = read_full(fd, &h, sizeof(h));
+  if (r == 0) return FrameReadStatus::kEof;
+  if (r < 0) return FrameReadStatus::kError;
+  if (h.magic != kMagic || h.payload_size > kMaxPayload)
+    return FrameReadStatus::kError;  // desync: unrecoverable
+  out.type = static_cast<FrameType>(h.type);
+  out.src = h.src;
+  out.dst = h.dst;
+  out.tag = h.tag;
+  out.delay_ms = h.delay_ms;
+  out.sent_ns = h.sent_ns;
+  out.payload.resize(h.payload_size);
+  if (h.payload_size > 0 &&
+      read_full(fd, out.payload.data(), out.payload.size()) != 1)
+    return FrameReadStatus::kError;
+  if (crc32(out.payload) != h.crc) return FrameReadStatus::kBadCrc;
+  return FrameReadStatus::kOk;
+}
+
+std::vector<std::byte> encode_i32(std::int32_t v) {
+  std::vector<std::byte> out(sizeof(v));
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+bool decode_i32(std::span<const std::byte> payload, std::int32_t& v) {
+  if (payload.size() != sizeof(v)) return false;
+  std::memcpy(&v, payload.data(), sizeof(v));
+  return true;
+}
+
+}  // namespace dtfe::simmpi

@@ -1,0 +1,73 @@
+// Wire framing for the multi-process socket transport.
+//
+// Every byte on a transport socket is a frame: a fixed header (magic, type,
+// routing, fault-delay, send timestamp, payload size, payload CRC32)
+// followed by the payload. The CRC covers the payload only — message
+// corruption injected by the fault plan happens BEFORE framing, so an
+// injected bit-flip travels with a valid CRC and is detected by the
+// application layer (work-package checksums), exactly as on the thread
+// transport. A frame-level CRC mismatch therefore means real wire
+// corruption: the frame is counted and dropped, and the app-level
+// ack/timeout/retry machinery recovers. A bad magic means the stream has
+// desynchronized and the connection is unrecoverable.
+//
+// Timestamps are CLOCK_MONOTONIC-based (steady_clock), which is shared by
+// every process on the host, so receiver-side `now - sent_ns` is a real
+// one-way latency measurement — the input for DES wire-cost calibration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dtfe::simmpi {
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,      ///< worker -> router: payload = int32 rank
+  kConfig = 2,     ///< router -> worker: opaque engine config payload
+  kData = 3,       ///< addressed rank-to-rank message (src/dst/tag used)
+  kHeartbeat = 4,  ///< worker -> router liveness beacon (empty payload)
+  kDead = 5,       ///< router -> workers: payload = int32 dead rank
+  kResult = 6,     ///< worker -> router: serialized pipeline result
+  kBye = 7,        ///< worker -> router: clean shutdown, EOF next is OK
+  kError = 8,      ///< worker -> router: payload = UTF-8 what() string
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::uint32_t delay_ms = 0;  ///< fault-plan delivery delay, applied by receiver
+  std::uint64_t sent_ns = 0;   ///< sender steady_clock stamp (kData only)
+  std::vector<std::byte> payload;
+};
+
+enum class FrameReadStatus {
+  kOk,
+  kEof,     ///< clean close at a frame boundary
+  kError,   ///< I/O error or stream desync (bad magic / insane size)
+  kBadCrc,  ///< header+payload read fine but payload CRC mismatched
+};
+
+/// IEEE 802.3 CRC32 (poly 0xEDB88320), software table.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Current steady_clock time in nanoseconds, for Frame::sent_ns.
+std::uint64_t steady_now_ns();
+
+/// Write one frame, handling partial writes and EINTR. Returns false on
+/// any I/O error (including EPIPE from a dead peer).
+bool write_frame(int fd, const Frame& f);
+
+/// Blocking read of one frame. On kBadCrc the stream is still aligned (the
+/// payload was consumed) and the caller may keep reading.
+FrameReadStatus read_frame(int fd, Frame& out);
+
+/// Helpers for the common int32 payloads (kHello, kDead).
+std::vector<std::byte> encode_i32(std::int32_t v);
+bool decode_i32(std::span<const std::byte> payload, std::int32_t& v);
+
+}  // namespace dtfe::simmpi

@@ -1,0 +1,568 @@
+#include "simmpi/socket_transport.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dtfe::simmpi {
+
+namespace {
+
+// Wire-level tallies (README "Observability"). In a multi-process run each
+// worker counts its own side; the launcher folds the workers' counters into
+// its registry when it deserializes their results.
+struct TransportMetrics {
+  obs::MetricId reconnects = obs::counter("dtfe.transport.reconnects");
+  obs::MetricId heartbeat_misses =
+      obs::counter("dtfe.transport.heartbeat_misses");
+  obs::MetricId dead_ranks = obs::counter("dtfe.transport.dead_ranks_detected");
+  obs::MetricId frames_sent = obs::counter("dtfe.transport.frames_sent");
+  obs::MetricId frames_received =
+      obs::counter("dtfe.transport.frames_received");
+  obs::MetricId frames_forwarded =
+      obs::counter("dtfe.transport.frames_forwarded");
+  obs::MetricId bytes_sent = obs::counter("dtfe.transport.bytes_sent");
+  obs::MetricId bytes_received = obs::counter("dtfe.transport.bytes_received");
+  obs::MetricId checksum_failures =
+      obs::counter("dtfe.transport.frame_checksum_failures");
+};
+
+const TransportMetrics& transport_metrics() {
+  static const TransportMetrics m;
+  return m;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  DTFE_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                 "transport: socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  return addr;
+}
+
+int connect_with_retry(const std::string& path, const RetryPolicy& rp) {
+  for (int retry = 0;; ++retry) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    DTFE_CHECK_MSG(fd >= 0, "transport: socket() failed: " << errno);
+    sockaddr_un addr = make_addr(path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    DTFE_CHECK_MSG(!rp.exhausted(retry + 1),
+                   "transport: could not connect to router at "
+                       << path << " after " << (retry + 1) << " attempts");
+    if (obs::metrics_enabled()) obs::add(transport_metrics().reconnects);
+    rp.backoff(retry + 1);
+  }
+}
+
+}  // namespace
+
+void TransportStats::fit(double& intercept_s, double& seconds_per_byte) const {
+  intercept_s = mean_latency_s();
+  seconds_per_byte = 0.0;
+  if (messages < 2) return;
+  const double n = static_cast<double>(messages);
+  const double var = sum_bytes2 - sum_bytes * sum_bytes / n;
+  if (var <= 0.0) return;  // degenerate: all messages the same size
+  const double cov = sum_latency_bytes - sum_bytes * sum_latency_s / n;
+  seconds_per_byte = cov / var;
+  intercept_s = (sum_latency_s - seconds_per_byte * sum_bytes) / n;
+  if (intercept_s < 0.0) intercept_s = 0.0;
+  if (seconds_per_byte < 0.0) seconds_per_byte = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// SocketEndpoint (worker side)
+// ---------------------------------------------------------------------------
+
+SocketEndpoint::SocketEndpoint(int rank, const TransportOptions& opt)
+    : rank_(rank),
+      nranks_(opt.ranks),
+      heartbeat_interval_ms_(opt.heartbeat_interval_ms),
+      arbiter_(opt.fault_plan),
+      dead_(static_cast<std::size_t>(opt.ranks)) {
+  DTFE_CHECK_MSG(rank >= 0 && rank < opt.ranks,
+                 "transport: worker rank " << rank << " out of range");
+  RetryPolicy rp = opt.connect_retry;
+  rp.seed ^= static_cast<std::uint64_t>(rank) * 0x9e3779b97f4a7c15ull;
+  obs::TraceSpan span("transport.connect", "transport");
+  fd_ = connect_with_retry(opt.socket_path, rp);
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.src = rank_;
+  hello.payload = encode_i32(rank_);
+  DTFE_CHECK_MSG(write_frame(fd_, hello),
+                 "transport: rank " << rank_ << " failed to send hello");
+
+  // Block until the router's config broadcast; the reader thread is not
+  // running yet, so read synchronously here.
+  for (;;) {
+    Frame f;
+    const FrameReadStatus st = read_frame(fd_, f);
+    if (st == FrameReadStatus::kBadCrc) {
+      if (obs::metrics_enabled())
+        obs::add(transport_metrics().checksum_failures);
+      continue;
+    }
+    DTFE_CHECK_MSG(st == FrameReadStatus::kOk,
+                   "transport: rank " << rank_
+                                      << " lost the router before config");
+    if (f.type == FrameType::kConfig) {
+      config_ = std::move(f.payload);
+      break;
+    }
+    if (f.type == FrameType::kDead) {
+      std::int32_t r = -1;
+      if (decode_i32(f.payload, r) && r >= 0 && r < nranks_)
+        dead_[static_cast<std::size_t>(r)].store(true,
+                                                 std::memory_order_release);
+    }
+  }
+
+  reader_ = std::thread([this] { reader_loop(); });
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+}
+
+SocketEndpoint::~SocketEndpoint() { finish(); }
+
+bool SocketEndpoint::write_frame_locked(const Frame& f) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (fd_ < 0) return false;
+  return write_frame(fd_, f);
+}
+
+void SocketEndpoint::die_by_fault() {
+  // The fault plan killed this rank at this comm op: make the death real.
+  // SIGKILL cannot be caught — the router sees the EOF and contains us just
+  // like a genuine crash.
+  ::raise(SIGKILL);
+  for (;;) ::pause();  // unreachable; SIGKILL never returns control
+}
+
+void SocketEndpoint::check_router() const {
+  if (router_lost_.load(std::memory_order_acquire))
+    throw Error("transport: connection to router lost on rank " +
+                std::to_string(rank_));
+}
+
+void SocketEndpoint::send(int src, int dest, int tag,
+                          std::span<const std::byte> data) {
+  DTFE_CHECK_MSG(src == rank_, "transport: send from foreign rank " << src);
+  DTFE_CHECK_MSG(dest >= 0 && dest < nranks_,
+                 "send to invalid rank " << dest);
+  if (arbiter_.on_comm_op(rank_, tag)) die_by_fault();
+  std::vector<std::byte> payload(data.begin(), data.end());
+  std::uint64_t delay_ms = 0;
+  if (!arbiter_.apply_message_faults(rank_, dest, tag, payload, delay_ms))
+    return;  // dropped on the wire
+  if (is_dead(dest)) return;  // no one left to read it
+  check_router();
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = rank_;
+  f.dst = dest;
+  f.tag = tag;
+  f.delay_ms = static_cast<std::uint32_t>(delay_ms);
+  f.sent_ns = steady_now_ns();
+  f.payload = std::move(payload);
+  if (obs::metrics_enabled()) {
+    const TransportMetrics& m = transport_metrics();
+    obs::add(m.frames_sent);
+    obs::add(m.bytes_sent, static_cast<double>(f.payload.size()));
+  }
+  if (!write_frame_locked(f)) {
+    router_lost_.store(true, std::memory_order_release);
+    box_.notify();
+    check_router();
+  }
+}
+
+RecvResult SocketEndpoint::recv(
+    int me, int source, int tag,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  DTFE_CHECK_MSG(me == rank_, "transport: recv for foreign rank " << me);
+  if (arbiter_.on_comm_op(rank_, tag)) die_by_fault();
+  return box_.recv(
+      source, tag, deadline,
+      [this, source]() -> std::optional<RecvResult> {
+        if (router_lost_.load(std::memory_order_acquire))
+          throw Error("transport: connection to router lost on rank " +
+                      std::to_string(rank_));
+        if (source != kAnySource && is_dead(source))
+          return RecvResult{RecvStatus::kRankFailed, source, {}};
+        if (source == kAnySource) {
+          bool all_dead = nranks_ > 1;
+          for (int r = 0; r < nranks_; ++r)
+            if (r != rank_ && !is_dead(r)) {
+              all_dead = false;
+              break;
+            }
+          if (all_dead) return RecvResult{RecvStatus::kRankFailed, -1, {}};
+        }
+        return std::nullopt;
+      });
+}
+
+bool SocketEndpoint::iprobe(int me, int source, int tag) const {
+  DTFE_CHECK_MSG(me == rank_, "transport: iprobe for foreign rank " << me);
+  return box_.iprobe(source, tag);
+}
+
+TransportStats SocketEndpoint::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SocketEndpoint::send_result(std::span<const std::byte> payload) {
+  Frame f;
+  f.type = FrameType::kResult;
+  f.src = rank_;
+  f.payload.assign(payload.begin(), payload.end());
+  DTFE_CHECK_MSG(write_frame_locked(f),
+                 "transport: rank " << rank_
+                                    << " failed to deliver its result");
+}
+
+void SocketEndpoint::send_error(const std::string& what) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.src = rank_;
+  f.payload.resize(what.size());
+  std::memcpy(f.payload.data(), what.data(), what.size());
+  (void)write_frame_locked(f);  // best effort: the router may already be gone
+}
+
+void SocketEndpoint::finish() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(hb_mutex_);
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  Frame bye;
+  bye.type = FrameType::kBye;
+  bye.src = rank_;
+  (void)write_frame_locked(bye);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);  // unblocks the reader
+  if (reader_.joinable()) reader_.join();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void SocketEndpoint::reader_loop() {
+  for (;;) {
+    Frame f;
+    const FrameReadStatus st = read_frame(fd_, f);
+    if (st == FrameReadStatus::kBadCrc) {
+      // Real wire corruption (injected flips travel with valid CRCs): drop
+      // the frame; app-level acks/timeouts recover.
+      if (obs::metrics_enabled())
+        obs::add(transport_metrics().checksum_failures);
+      continue;
+    }
+    if (st != FrameReadStatus::kOk) {
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        router_lost_.store(true, std::memory_order_release);
+        box_.notify();
+      }
+      return;
+    }
+    switch (f.type) {
+      case FrameType::kData: {
+        const std::uint64_t now = steady_now_ns();
+        const double latency_s =
+            now > f.sent_ns ? static_cast<double>(now - f.sent_ns) * 1e-9
+                            : 0.0;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.note(f.payload.size(), latency_s);
+        }
+        if (obs::metrics_enabled()) {
+          const TransportMetrics& m = transport_metrics();
+          obs::add(m.frames_received);
+          obs::add(m.bytes_received, static_cast<double>(f.payload.size()));
+        }
+        box_.post(f.src, f.tag, std::move(f.payload),
+                  std::chrono::milliseconds(f.delay_ms));
+        break;
+      }
+      case FrameType::kDead: {
+        std::int32_t r = -1;
+        if (decode_i32(f.payload, r) && r >= 0 && r < nranks_) {
+          dead_[static_cast<std::size_t>(r)].store(true,
+                                                   std::memory_order_release);
+          box_.notify();
+        }
+        break;
+      }
+      default:
+        break;  // config re-broadcasts etc.: ignore
+    }
+  }
+}
+
+void SocketEndpoint::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(hb_mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    lock.unlock();
+    Frame f;
+    f.type = FrameType::kHeartbeat;
+    f.src = rank_;
+    (void)write_frame_locked(f);  // loss is detected by the reader
+    lock.lock();
+    hb_cv_.wait_for(lock, std::chrono::milliseconds(heartbeat_interval_ms_),
+                    [this] {
+                      return stopping_.load(std::memory_order_relaxed);
+                    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router (launcher side)
+// ---------------------------------------------------------------------------
+
+Router::Router(const TransportOptions& opt)
+    : opt_(opt),
+      fds_(static_cast<std::size_t>(opt.ranks), -1),
+      outcomes_(static_cast<std::size_t>(opt.ranks)),
+      dead_(static_cast<std::size_t>(opt.ranks), false),
+      last_beat_(static_cast<std::size_t>(opt.ranks)),
+      misses_noted_(static_cast<std::size_t>(opt.ranks), 0) {
+  DTFE_CHECK_MSG(opt.ranks >= 1, "transport: need at least one rank");
+}
+
+Router::~Router() {
+  for (int r = 0; r < opt_.ranks; ++r) close_fd(r);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!opt_.socket_path.empty()) ::unlink(opt_.socket_path.c_str());
+}
+
+void Router::close_fd(int rank) {
+  int& fd = fds_[static_cast<std::size_t>(rank)];
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+void Router::listen_socket() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DTFE_CHECK_MSG(listen_fd_ >= 0, "transport: socket() failed: " << errno);
+  ::unlink(opt_.socket_path.c_str());
+  sockaddr_un addr = make_addr(opt_.socket_path);
+  DTFE_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "transport: bind(" << opt_.socket_path
+                                    << ") failed: " << errno);
+  DTFE_CHECK_MSG(::listen(listen_fd_, opt_.ranks) == 0,
+                 "transport: listen failed: " << errno);
+}
+
+void Router::accept_workers() {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opt_.accept_timeout_ms);
+  int connected = 0;
+  while (connected < opt_.ranks) {
+    const auto now = std::chrono::steady_clock::now();
+    const int remaining_ms =
+        now >= deadline
+            ? 0
+            : static_cast<int>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count());
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, remaining_ms);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) {
+      std::ostringstream os;
+      os << "transport: only " << connected << "/" << opt_.ranks
+         << " workers said hello within " << opt_.accept_timeout_ms
+         << "ms; missing ranks:";
+      for (int r = 0; r < opt_.ranks; ++r)
+        if (fds_[static_cast<std::size_t>(r)] < 0) os << " " << r;
+      throw Error(os.str());
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    Frame hello;
+    std::int32_t rank = -1;
+    if (read_frame(fd, hello) != FrameReadStatus::kOk ||
+        hello.type != FrameType::kHello ||
+        !decode_i32(hello.payload, rank) || rank < 0 || rank >= opt_.ranks ||
+        fds_[static_cast<std::size_t>(rank)] >= 0) {
+      ::close(fd);  // imposter or duplicate hello
+      continue;
+    }
+    fds_[static_cast<std::size_t>(rank)] = fd;
+    last_beat_[static_cast<std::size_t>(rank)] =
+        std::chrono::steady_clock::now();
+    ++connected;
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Router::broadcast_config(std::span<const std::byte> payload) {
+  Frame f;
+  f.type = FrameType::kConfig;
+  f.payload.assign(payload.begin(), payload.end());
+  for (int r = 0; r < opt_.ranks; ++r) {
+    const int fd = fds_[static_cast<std::size_t>(r)];
+    if (fd >= 0 && !write_frame(fd, f)) declare_dead(r);
+  }
+}
+
+void Router::declare_dead(int rank) {
+  if (dead_[static_cast<std::size_t>(rank)]) return;
+  dead_[static_cast<std::size_t>(rank)] = true;
+  outcomes_[static_cast<std::size_t>(rank)].died = true;
+  close_fd(rank);
+  if (obs::metrics_enabled()) obs::add(transport_metrics().dead_ranks);
+  if (obs::TraceRecorder::global().enabled())
+    obs::TraceRecorder::global().emit_instant(
+        "transport.rank_dead", "transport",
+        {{"rank", static_cast<double>(rank)}});
+  // Tell the survivors so their dead-rank containment kicks in.
+  Frame f;
+  f.type = FrameType::kDead;
+  f.payload = encode_i32(rank);
+  for (int r = 0; r < opt_.ranks; ++r) {
+    const int fd = fds_[static_cast<std::size_t>(r)];
+    if (fd >= 0 && !write_frame(fd, f)) declare_dead(r);
+  }
+}
+
+void Router::handle_frame(int rank, Frame& f) {
+  last_beat_[static_cast<std::size_t>(rank)] =
+      std::chrono::steady_clock::now();
+  misses_noted_[static_cast<std::size_t>(rank)] = 0;
+  switch (f.type) {
+    case FrameType::kHeartbeat:
+      break;  // liveness already noted above
+    case FrameType::kData: {
+      const int dst = f.dst;
+      if (dst < 0 || dst >= opt_.ranks) break;
+      if (dead_[static_cast<std::size_t>(dst)]) break;  // discarded, as in
+                                                        // the thread runtime
+      const int fd = fds_[static_cast<std::size_t>(dst)];
+      if (fd < 0) break;  // dst already finished: message unread, same as a
+                          // completed thread rank's queue
+      if (obs::metrics_enabled())
+        obs::add(transport_metrics().frames_forwarded);
+      if (!write_frame(fd, f)) declare_dead(dst);
+      break;
+    }
+    case FrameType::kResult:
+      outcomes_[static_cast<std::size_t>(rank)].result = std::move(f.payload);
+      outcomes_[static_cast<std::size_t>(rank)].finished = true;
+      break;
+    case FrameType::kError:
+      outcomes_[static_cast<std::size_t>(rank)].error.assign(
+          reinterpret_cast<const char*>(f.payload.data()), f.payload.size());
+      outcomes_[static_cast<std::size_t>(rank)].finished = true;
+      break;
+    case FrameType::kBye:
+      outcomes_[static_cast<std::size_t>(rank)].finished = true;
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<Router::Outcome> Router::route() {
+  obs::TraceSpan span("transport.route", "transport");
+  const auto all_done = [this] {
+    for (int r = 0; r < opt_.ranks; ++r)
+      if (!outcomes_[static_cast<std::size_t>(r)].finished &&
+          !dead_[static_cast<std::size_t>(r)])
+        return false;
+    return true;
+  };
+  while (!all_done()) {
+    std::vector<pollfd> pfds;
+    std::vector<int> pranks;
+    for (int r = 0; r < opt_.ranks; ++r) {
+      const int fd = fds_[static_cast<std::size_t>(r)];
+      if (fd >= 0) {
+        pfds.push_back(pollfd{fd, POLLIN, 0});
+        pranks.push_back(r);
+      }
+    }
+    if (pfds.empty()) break;  // every socket closed
+    const int pr =
+        ::poll(pfds.data(), pfds.size(), opt_.heartbeat_interval_ms);
+    if (pr < 0 && errno != EINTR) break;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const int r = pranks[i];
+      // Drain a bounded burst so one chatty worker cannot starve the rest.
+      for (int burst = 0; burst < 64; ++burst) {
+        if (fds_[static_cast<std::size_t>(r)] < 0) break;
+        Frame f;
+        const FrameReadStatus st =
+            read_frame(fds_[static_cast<std::size_t>(r)], f);
+        if (st == FrameReadStatus::kBadCrc) {
+          if (obs::metrics_enabled())
+            obs::add(transport_metrics().checksum_failures);
+          continue;
+        }
+        if (st != FrameReadStatus::kOk) {
+          if (outcomes_[static_cast<std::size_t>(r)].finished)
+            close_fd(r);  // clean shutdown after bye/result
+          else
+            declare_dead(r);  // EOF without a result: the SIGKILL fast path
+          break;
+        }
+        handle_frame(r, f);
+        pollfd probe{fds_[static_cast<std::size_t>(r)], POLLIN, 0};
+        if (fds_[static_cast<std::size_t>(r)] < 0 ||
+            ::poll(&probe, 1, 0) <= 0)
+          break;
+      }
+    }
+    // Heartbeat staleness: the slow path for hung-but-connected workers.
+    const auto now = std::chrono::steady_clock::now();
+    for (int r = 0; r < opt_.ranks; ++r) {
+      if (fds_[static_cast<std::size_t>(r)] < 0 ||
+          outcomes_[static_cast<std::size_t>(r)].finished ||
+          dead_[static_cast<std::size_t>(r)])
+        continue;
+      const auto elapsed = now - last_beat_[static_cast<std::size_t>(r)];
+      const int misses = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+              .count() /
+          std::max(1, opt_.heartbeat_interval_ms));
+      if (misses > misses_noted_[static_cast<std::size_t>(r)]) {
+        if (obs::metrics_enabled())
+          obs::add(transport_metrics().heartbeat_misses,
+                   misses - misses_noted_[static_cast<std::size_t>(r)]);
+        misses_noted_[static_cast<std::size_t>(r)] = misses;
+      }
+      if (misses >= opt_.heartbeat_miss_limit) declare_dead(r);
+    }
+  }
+  return outcomes_;
+}
+
+std::vector<int> Router::dead_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < opt_.ranks; ++r)
+    if (dead_[static_cast<std::size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+}  // namespace dtfe::simmpi

@@ -1,0 +1,201 @@
+// Multi-process socket transport: the second CommBackend (DESIGN.md §9).
+//
+// Topology is hub-and-spoke. The launcher process is NOT a rank: it runs a
+// Router bound to a Unix-domain socket, spawns N worker processes (the same
+// binary re-entered with --worker-rank), and forwards addressed kData
+// frames between them. Each worker wraps one SocketEndpoint — a CommBackend
+// whose mailbox is fed by a dedicated reader thread — so the whole Comm
+// surface (collectives included) runs unchanged over the wire.
+//
+// Failure detection: every worker beacons kHeartbeat frames; the router
+// declares a rank dead on socket EOF (the fast path after a SIGKILL) or
+// after heartbeat_miss_limit missed intervals, then broadcasts kDead to the
+// survivors. Workers fold kDead into the same dead-rank flags the thread
+// transport uses, so RankFailed containment and post-run recovery need no
+// transport-specific code.
+//
+// Fault replay: each worker owns a FaultArbiter over the same FaultPlan.
+// kill rules raise SIGKILL at the victim's Nth matching comm op (the exact
+// op where the thread transport throws RankKilledSignal); drop/trunc/flip
+// mutate the payload before framing; delay rides the frame header and is
+// applied at the receiver's mailbox. Worker-local arbiters replay
+// identically to the thread transport's shared one because message rules
+// are advanced only by their sending rank and kill rules only by the
+// victim.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simmpi/comm.h"
+#include "simmpi/fault.h"
+#include "simmpi/frame.h"
+#include "simmpi/mailbox.h"
+#include "util/retry.h"
+
+namespace dtfe::simmpi {
+
+struct TransportOptions {
+  std::string socket_path;  ///< Unix-domain socket the router binds
+  int ranks = 0;
+  int heartbeat_interval_ms = 100;
+  /// Dead after this many beacon intervals without a heartbeat (EOF is
+  /// detected immediately regardless).
+  int heartbeat_miss_limit = 20;
+  int accept_timeout_ms = 15000;  ///< router's wait for all HELLOs
+  /// Worker -> router connect backoff (the router binds before spawning,
+  /// so retries only happen under heavy load).
+  RetryPolicy connect_retry{.max_retries = 60, .base_delay_ms = 5.0,
+                            .max_delay_ms = 250.0};
+  /// Borrowed; worker-side deterministic fault replay. May be null.
+  const FaultPlan* fault_plan = nullptr;
+};
+
+/// Per-worker measured wire costs: OLS sufficient statistics over
+/// (payload bytes, one-way latency) of every received kData frame. The
+/// launcher merges all workers' stats and fits latency = a + b * bytes —
+/// the measured inputs for DES calibration (framework/des.h).
+struct TransportStats {
+  std::uint64_t messages = 0;
+  double sum_bytes = 0.0;
+  double sum_bytes2 = 0.0;
+  double sum_latency_s = 0.0;
+  double sum_latency_bytes = 0.0;  ///< sum of latency_i * bytes_i
+
+  void note(std::size_t bytes, double latency_s) {
+    const double b = static_cast<double>(bytes);
+    ++messages;
+    sum_bytes += b;
+    sum_bytes2 += b * b;
+    sum_latency_s += latency_s;
+    sum_latency_bytes += latency_s * b;
+  }
+  void merge(const TransportStats& o) {
+    messages += o.messages;
+    sum_bytes += o.sum_bytes;
+    sum_bytes2 += o.sum_bytes2;
+    sum_latency_s += o.sum_latency_s;
+    sum_latency_bytes += o.sum_latency_bytes;
+  }
+  double mean_latency_s() const {
+    return messages ? sum_latency_s / static_cast<double>(messages) : 0.0;
+  }
+  double mean_bytes() const {
+    return messages ? sum_bytes / static_cast<double>(messages) : 0.0;
+  }
+  /// OLS fit latency = intercept + slope * bytes. Falls back to
+  /// (mean latency, 0) when degenerate (all messages the same size).
+  void fit(double& intercept_s, double& seconds_per_byte) const;
+};
+static_assert(std::is_trivially_copyable_v<TransportStats>);
+
+/// Worker-side CommBackend: one socket to the router, a reader thread
+/// feeding the mailbox, a heartbeat thread, and a local FaultArbiter.
+class SocketEndpoint final : public CommBackend {
+ public:
+  /// Connects (with retry/backoff), sends kHello, and blocks until the
+  /// router's kConfig arrives; then starts the reader and heartbeat
+  /// threads. Throws dtfe::Error if the router is unreachable.
+  SocketEndpoint(int rank, const TransportOptions& opt);
+  ~SocketEndpoint() override;
+
+  int size() const override { return nranks_; }
+  bool is_dead(int rank) const override {
+    return dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+  void send(int src, int dest, int tag,
+            std::span<const std::byte> data) override;
+  RecvResult recv(
+      int me, int source, int tag,
+      std::optional<std::chrono::steady_clock::time_point> deadline) override;
+  bool iprobe(int me, int source, int tag) const override;
+
+  int rank() const { return rank_; }
+  /// The opaque config payload the router broadcast before the run.
+  const std::vector<std::byte>& config() const { return config_; }
+  /// Measured wire costs of everything this worker received so far.
+  TransportStats stats() const;
+
+  void send_result(std::span<const std::byte> payload);
+  void send_error(const std::string& what);
+  /// Clean shutdown: kBye, stop heartbeat/reader, close the socket.
+  /// Idempotent; the destructor calls it.
+  void finish();
+
+ private:
+  void reader_loop();
+  void heartbeat_loop();
+  bool write_frame_locked(const Frame& f);
+  [[noreturn]] void die_by_fault();
+  void check_router() const;  ///< throws if the router connection is gone
+
+  int rank_;
+  int nranks_;
+  int fd_ = -1;
+  int heartbeat_interval_ms_;
+  FaultArbiter arbiter_;
+  Mailbox box_;
+  std::vector<std::atomic<bool>> dead_;
+  std::atomic<bool> router_lost_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex write_mutex_;
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+  std::vector<std::byte> config_;
+  std::mutex hb_mutex_;
+  std::condition_variable hb_cv_;
+  std::thread reader_;
+  std::thread heartbeat_;
+};
+
+/// Launcher-side hub: accepts the workers, broadcasts config, forwards
+/// addressed frames, detects failures, and collects results. Single
+/// threaded — call listen(), spawn the workers, then accept_workers(),
+/// broadcast_config(), route().
+class Router {
+ public:
+  struct Outcome {
+    bool finished = false;  ///< worker delivered kResult/kError/kBye
+    bool died = false;      ///< EOF or heartbeat loss before finishing
+    std::string error;      ///< worker-reported exception text, if any
+    std::vector<std::byte> result;
+  };
+
+  explicit Router(const TransportOptions& opt);
+  ~Router();
+
+  /// Bind + listen on opt.socket_path. Call BEFORE spawning workers so no
+  /// worker can race the bind.
+  void listen_socket();
+  /// Accept until every rank has said kHello (or accept_timeout_ms runs
+  /// out — then throws naming the missing ranks).
+  void accept_workers();
+  void broadcast_config(std::span<const std::byte> payload);
+  /// Forward frames until every rank is finished or dead. Returns per-rank
+  /// outcomes (results still serialized).
+  std::vector<Outcome> route();
+
+  std::vector<int> dead_ranks() const;
+
+ private:
+  void declare_dead(int rank);
+  void handle_frame(int rank, Frame& f);
+  void close_fd(int rank);
+
+  TransportOptions opt_;
+  int listen_fd_ = -1;
+  std::vector<int> fds_;
+  std::vector<Outcome> outcomes_;
+  std::vector<bool> dead_;
+  std::vector<std::chrono::steady_clock::time_point> last_beat_;
+  std::vector<int> misses_noted_;
+};
+
+}  // namespace dtfe::simmpi

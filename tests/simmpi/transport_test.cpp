@@ -1,0 +1,448 @@
+// Socket-transport suite (ctest -L fault): wire framing, retry policy,
+// fault-plan spec round-trips, the launch/result codec, heartbeat failure
+// detection, and the acceptance property of DESIGN.md §9 — pipeline grids
+// are bitwise identical between --transport=thread and --transport=socket,
+// including under every class of replayed fault plan.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "framework/result_codec.h"
+#include "simmpi/fault.h"
+#include "simmpi/frame.h"
+#include "simmpi/socket_transport.h"
+#include "util/retry.h"
+
+namespace {
+
+using namespace dtfe;
+using namespace dtfe::simmpi;
+
+// ---- frame layer -----------------------------------------------------------
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(Frame, RoundTripsOverSocketPair) {
+  int sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = 2;
+  f.dst = 5;
+  f.tag = 200;
+  f.delay_ms = 40;
+  f.sent_ns = steady_now_ns();
+  f.payload = bytes_of("work package bytes");
+  ASSERT_TRUE(write_frame(sv[0], f));
+
+  Frame g;
+  ASSERT_EQ(FrameReadStatus::kOk, read_frame(sv[1], g));
+  EXPECT_EQ(g.type, f.type);
+  EXPECT_EQ(g.src, 2);
+  EXPECT_EQ(g.dst, 5);
+  EXPECT_EQ(g.tag, 200);
+  EXPECT_EQ(g.delay_ms, 40u);
+  EXPECT_EQ(g.sent_ns, f.sent_ns);
+  EXPECT_EQ(g.payload, f.payload);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(Frame, CleanEofAtBoundaryVsMidFrameError) {
+  int sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  // Clean close with nothing pending: kEof.
+  ::close(sv[0]);
+  Frame g;
+  EXPECT_EQ(FrameReadStatus::kEof, read_frame(sv[1], g));
+  ::close(sv[1]);
+
+  // A frame truncated mid-payload is a desync, not a clean EOF.
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  Frame f;
+  f.payload = bytes_of("0123456789");
+  ASSERT_TRUE(write_frame(sv[0], f));
+  // Reconstruct the byte stream, resend only a prefix, then close.
+  std::array<std::byte, 4096> buf;
+  const ssize_t n = ::recv(sv[1], buf.data(), buf.size(), 0);
+  ASSERT_GT(n, 8);
+  ::close(sv[0]);
+  ::close(sv[1]);
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  ASSERT_EQ(n - 5, ::send(sv[0], buf.data(), static_cast<std::size_t>(n - 5),
+                          MSG_NOSIGNAL));
+  ::close(sv[0]);
+  EXPECT_EQ(FrameReadStatus::kError, read_frame(sv[1], g));
+  ::close(sv[1]);
+}
+
+TEST(Frame, CorruptedPayloadFailsCrcButKeepsStreamAligned) {
+  int sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  Frame f;
+  f.payload = bytes_of("payload that will be corrupted");
+  ASSERT_TRUE(write_frame(sv[0], f));
+  Frame follow;
+  follow.payload = bytes_of("follow-up");
+  ASSERT_TRUE(write_frame(sv[0], follow));
+
+  // Flip one payload byte of the FIRST frame in the raw stream.
+  std::vector<std::byte> stream(8192);
+  ssize_t total = 0, n;
+  while ((n = ::recv(sv[1], stream.data() + total,
+                     stream.size() - static_cast<std::size_t>(total),
+                     MSG_DONTWAIT)) > 0)
+    total += n;
+  ASSERT_GT(total, 0);
+  stream[45] ^= std::byte{0x10};  // inside frame 1's payload (40-byte header)
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  ASSERT_EQ(total, ::send(sv[0], stream.data(),
+                          static_cast<std::size_t>(total), MSG_NOSIGNAL));
+  Frame g;
+  EXPECT_EQ(FrameReadStatus::kBadCrc, read_frame(sv[1], g));
+  // The stream stays aligned: the next frame reads fine.
+  EXPECT_EQ(FrameReadStatus::kOk, read_frame(sv[1], g));
+  EXPECT_EQ(g.payload, follow.payload);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(Frame, Crc32MatchesKnownVector) {
+  // IEEE CRC32 of "123456789" is the classic check value 0xCBF43926.
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(0xCBF43926u, crc32(data));
+}
+
+// ---- retry policy ----------------------------------------------------------
+
+TEST(RetryPolicy, DeterministicBoundedBackoff) {
+  RetryPolicy p;
+  p.max_retries = 3;
+  p.base_delay_ms = 2.0;
+  p.max_delay_ms = 100.0;
+  p.seed = 42;
+
+  EXPECT_FALSE(p.exhausted(3));
+  EXPECT_TRUE(p.exhausted(4));
+
+  // Same seed: identical delay sequence. Delays never exceed the ceiling.
+  RetryPolicy q = p;
+  double prev = 0.0;
+  for (int retry = 1; retry <= 8; ++retry) {
+    const double d = p.delay_ms(retry);
+    EXPECT_DOUBLE_EQ(d, q.delay_ms(retry));
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, p.max_delay_ms);
+    if (retry <= 4) EXPECT_GE(d, prev * 0.5);  // grows modulo jitter
+    prev = d;
+  }
+
+  // Different seed: different jitter stream.
+  q.seed = 43;
+  bool any_differs = false;
+  for (int retry = 1; retry <= 8; ++retry)
+    any_differs = any_differs || p.delay_ms(retry) != q.delay_ms(retry);
+  EXPECT_TRUE(any_differs);
+}
+
+// ---- fault-plan spec round-trip --------------------------------------------
+
+TEST(FaultPlanSpec, ToSpecRoundTrips) {
+  const std::string spec =
+      "kill:rank=2,at=3,tag=200;drop:src=0,dst=3,nth=1,tag=200;"
+      "trunc:src=1,dst=2,nth=2,bytes=16;flip:src=4,dst=0,nth=1,byte=7,bit=3;"
+      "delay:src=5,dst=6,nth=1,ms=250;seed=7";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  const FaultPlan again = FaultPlan::parse(plan.to_spec());
+  ASSERT_EQ(plan.rules.size(), again.rules.size());
+  EXPECT_EQ(plan.seed, again.seed);
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    const FaultRule& a = plan.rules[i];
+    const FaultRule& b = again.rules[i];
+    EXPECT_EQ(a.action, b.action);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.nth, b.nth);
+    EXPECT_EQ(a.tag, b.tag);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.byte, b.byte);
+    EXPECT_EQ(a.bit, b.bit);
+    EXPECT_EQ(a.delay_ms, b.delay_ms);
+  }
+  EXPECT_TRUE(FaultPlan::parse("").to_spec().empty());
+}
+
+// ---- transport stats -------------------------------------------------------
+
+TEST(TransportStats, FitRecoversLinearWireCost) {
+  TransportStats s;
+  const double a = 5e-5, b = 2e-9;  // latency = 50us + 2ns/byte
+  for (std::size_t bytes : {100u, 1000u, 10000u, 100000u, 50000u})
+    s.note(bytes, a + b * static_cast<double>(bytes));
+  double intercept = 0.0, slope = 0.0;
+  s.fit(intercept, slope);
+  EXPECT_NEAR(intercept, a, 1e-9);
+  EXPECT_NEAR(slope, b, 1e-12);
+
+  // Degenerate (single message size): falls back to the mean, zero slope.
+  TransportStats d;
+  d.note(512, 1e-4);
+  d.note(512, 3e-4);
+  d.fit(intercept, slope);
+  EXPECT_DOUBLE_EQ(slope, 0.0);
+  EXPECT_DOUBLE_EQ(intercept, 2e-4);
+
+  TransportStats merged;
+  merged.merge(s);
+  merged.merge(d);
+  EXPECT_EQ(merged.messages, s.messages + d.messages);
+}
+
+// ---- launch/result codec ---------------------------------------------------
+
+TEST(ResultCodec, LaunchConfigRoundTrips) {
+  LaunchConfig cfg;
+  cfg.snapshot = "/tmp/some/snap.bin";
+  cfg.pipeline.field_length = 7.5;
+  cfg.pipeline.field_resolution = 48;
+  cfg.pipeline.kernel = "walk";
+  cfg.pipeline.max_retries = 5;
+  cfg.pipeline.keep_grids = true;
+  cfg.pipeline.checkpoint_dir = "/tmp/ckpt";
+  cfg.field_centers = {{1.0, 2.0, 3.0}, {4.5, 5.5, 6.5}};
+
+  const LaunchConfig back = decode_launch_config(encode_launch_config(cfg));
+  EXPECT_EQ(back.snapshot, cfg.snapshot);
+  EXPECT_EQ(back.pipeline.field_resolution, 48u);
+  EXPECT_DOUBLE_EQ(back.pipeline.field_length, 7.5);
+  EXPECT_EQ(back.pipeline.kernel, "walk");
+  EXPECT_EQ(back.pipeline.max_retries, 5);
+  EXPECT_TRUE(back.pipeline.keep_grids);
+  EXPECT_EQ(back.pipeline.checkpoint_dir, "/tmp/ckpt");
+  ASSERT_EQ(back.field_centers.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.field_centers[1].x, 4.5);
+  EXPECT_DOUBLE_EQ(back.field_centers[1].z, 6.5);
+}
+
+TEST(ResultCodec, WorkerPayloadRoundTrips) {
+  WorkerPayload p;
+  p.rank = 3;
+  p.wire.note(1000, 2e-4);
+  p.wire.note(2000, 3e-4);
+  p.counters = {{"dtfe.pipeline.items_computed", 12.0},
+                {"dtfe.simmpi.messages", 40.0}};
+  p.gauges = {{"dtfe.executor.queue_peak", 2.0}};
+
+  ItemRecord item;
+  item.request_index = 7;
+  item.grid_sum = 123.456;
+  item.failed = false;
+  p.result.items.push_back(item);
+  Grid2D grid(4, 4);
+  grid.at(1, 2) = 9.0;
+  p.result.grids.push_back(grid);
+  p.result.local_items = 1;
+  p.result.failed_ranks = {1};
+  p.result.phases.render = 0.25;
+
+  const WorkerPayload back = decode_worker_payload(encode_worker_payload(p));
+  EXPECT_EQ(back.rank, 3);
+  EXPECT_EQ(back.wire.messages, 2u);
+  EXPECT_DOUBLE_EQ(back.wire.sum_latency_s, p.wire.sum_latency_s);
+  EXPECT_EQ(back.counters.at("dtfe.simmpi.messages"), 40.0);
+  EXPECT_EQ(back.gauges.at("dtfe.executor.queue_peak"), 2.0);
+  ASSERT_EQ(back.result.items.size(), 1u);
+  EXPECT_EQ(back.result.items[0].request_index, 7);
+  EXPECT_DOUBLE_EQ(back.result.items[0].grid_sum, 123.456);
+  ASSERT_EQ(back.result.grids.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.result.grids[0].at(1, 2), 9.0);
+  ASSERT_EQ(back.result.failed_ranks.size(), 1u);
+  EXPECT_EQ(back.result.failed_ranks[0], 1);
+  EXPECT_DOUBLE_EQ(back.result.phases.render, 0.25);
+}
+
+TEST(ResultCodec, RejectsGarbage) {
+  std::vector<std::byte> junk(16, std::byte{0x5a});
+  EXPECT_THROW(decode_launch_config(junk), Error);
+  EXPECT_THROW(decode_worker_payload(junk), Error);
+  EXPECT_THROW(decode_worker_payload({}), Error);
+}
+
+// ---- heartbeat failure detection -------------------------------------------
+
+TEST(Heartbeat, SilentWorkerIsDeclaredDead) {
+  char tmpl[] = "/tmp/pdtfe-hb-XXXXXX";
+  ASSERT_NE(nullptr, ::mkdtemp(tmpl));
+  const std::string dir = tmpl;
+
+  TransportOptions opt;
+  opt.socket_path = dir + "/router.sock";
+  opt.ranks = 1;
+  opt.heartbeat_interval_ms = 20;
+  opt.heartbeat_miss_limit = 5;
+  Router router(opt);
+  router.listen_socket();
+
+  // A worker that says hello, takes its config — and then never beacons.
+  std::thread silent([&] {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(0, ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)));
+    Frame hello;
+    hello.type = FrameType::kHello;
+    hello.src = 0;
+    hello.payload = encode_i32(0);
+    ASSERT_TRUE(write_frame(fd, hello));
+    Frame cfg;
+    ASSERT_EQ(FrameReadStatus::kOk, read_frame(fd, cfg));
+    ASSERT_EQ(FrameType::kConfig, cfg.type);
+    // Stay connected but silent until the router gives up on us.
+    Frame dead;
+    read_frame(fd, dead);  // kDead broadcast or EOF — either ends the wait
+    ::close(fd);
+  });
+
+  router.accept_workers();
+  router.broadcast_config(bytes_of("cfg"));
+  const auto outcomes = router.route();
+  silent.join();
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].died);
+  EXPECT_FALSE(outcomes[0].finished);
+  const auto dead = router.dead_ranks();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 0);
+  ::unlink(opt.socket_path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+// ---- thread vs socket pipeline parity (acceptance) -------------------------
+
+#ifdef PDTFE_BINARY
+
+std::string run_capture(const std::string& cmd, int& exit_code) {
+  std::string out;
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) {
+    exit_code = -1;
+    return out;
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe)) out += buf;
+  exit_code = ::pclose(pipe);
+  return out;
+}
+
+std::string grep_line(const std::string& text, const std::string& needle) {
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return {};
+  const std::size_t end = text.find('\n', pos);
+  return text.substr(pos, end == std::string::npos ? end : end - pos);
+}
+
+class TransportParity : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    char tmpl[] = "/tmp/pdtfe-parity-XXXXXX";
+    ASSERT_NE(nullptr, ::mkdtemp(tmpl));
+    dir_ = tmpl;
+    int rc = 0;
+    run_capture(std::string(PDTFE_BINARY) + " generate --out " + dir_ +
+                    "/snap.bin --n 12000 --blocks 4 --seed 3",
+                rc);
+    ASSERT_EQ(rc, 0);
+  }
+  static void TearDownTestSuite() {
+    if (!dir_.empty()) {
+      ::unlink((dir_ + "/snap.bin").c_str());
+      ::rmdir(dir_.c_str());
+    }
+  }
+
+  /// Run the pipeline on both transports under `plan` and assert the grid
+  /// checksum lines (printed at %.9e) are byte-identical.
+  static void expect_parity(const std::string& plan,
+                            const std::string& expect_also = {}) {
+    const std::string base = std::string(PDTFE_BINARY) + " pipeline --in " +
+                             dir_ + "/snap.bin --ranks 3 --fields 6";
+    const std::string fault =
+        plan.empty() ? std::string{} : " --fault-plan '" + plan + "'";
+    int rc_thread = 0, rc_socket = 0;
+    const std::string out_thread =
+        run_capture(base + " --transport thread" + fault, rc_thread);
+    const std::string out_socket =
+        run_capture(base + " --transport socket" + fault, rc_socket);
+    ASSERT_EQ(rc_thread, 0) << out_thread;
+    ASSERT_EQ(rc_socket, 0) << out_socket;
+
+    const std::string sum_thread =
+        grep_line(out_thread, "grid checksum total:");
+    const std::string sum_socket =
+        grep_line(out_socket, "grid checksum total:");
+    ASSERT_FALSE(sum_thread.empty()) << out_thread;
+    EXPECT_EQ(sum_thread, sum_socket) << "thread:\n"
+                                      << out_thread << "\nsocket:\n"
+                                      << out_socket;
+    EXPECT_NE(out_thread.find("fields completed: 6/6"), std::string::npos)
+        << out_thread;
+    EXPECT_NE(out_socket.find("fields completed: 6/6"), std::string::npos)
+        << out_socket;
+    if (!expect_also.empty()) {
+      EXPECT_NE(out_thread.find(expect_also), std::string::npos) << out_thread;
+      EXPECT_NE(out_socket.find(expect_also), std::string::npos) << out_socket;
+    }
+  }
+
+  static std::string dir_;
+};
+
+std::string TransportParity::dir_;
+
+TEST_F(TransportParity, FaultFree) { expect_parity(""); }
+
+TEST_F(TransportParity, KilledWorkerIsContainedAndRecovered) {
+  // The SIGKILLed worker's items come back via fallback/recovery, and both
+  // transports report the same dead rank.
+  expect_parity("kill:rank=1,tag=200,at=1", "ranks failed: 1");
+}
+
+TEST_F(TransportParity, DroppedPackage) {
+  expect_parity("drop:src=0,dst=2,nth=1,tag=200");
+}
+
+TEST_F(TransportParity, DelayedPackage) {
+  expect_parity("delay:src=0,dst=2,nth=1,tag=200,ms=120");
+}
+
+TEST_F(TransportParity, BitFlippedPackage) {
+  expect_parity("flip:src=0,dst=2,nth=1,tag=200");
+}
+
+#endif  // PDTFE_BINARY
+
+}  // namespace
