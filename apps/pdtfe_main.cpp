@@ -5,9 +5,11 @@
 //   pdtfe info     --in snap.bin
 //   pdtfe render   --in snap.bin --out map.pgm [--grid 512]
 //                  [--method march|walk|tess|cic] [--mc 1] [--adaptive 0]
+//                  [--field density|velocity|vdiv|grad] [--smooth-ensemble N]
 //                  [--metrics-out m.json] [--trace-out t.json]
 //   pdtfe pipeline --in snap.bin [--ranks 8] [--fields 64] [--length 5]
 //                  [--grid 64] [--kernel march|walk|tess]
+//                  [--field density|velocity|vdiv|grad] [--smooth-ensemble N]
 //                  [--balance 1] [--metrics-out m.json]
 //                  [--trace-out t.json] [--report prefix]
 //                  [--fault-plan spec] [--max-retries 3]
@@ -31,6 +33,8 @@
 // deterministic rank kills and message corruption into the simulated MPI
 // runtime (grammar in simmpi/fault.h); the pipeline's containment, retry,
 // fallback, and recovery paths keep the run completing with every field.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -159,16 +163,36 @@ int cmd_info(const CliArgs& args) {
   return 0;
 }
 
+/// "map.pgm" + channel "vx" -> "map-vx.pgm" (suffix before the extension).
+std::string channel_out_path(const std::string& out,
+                             const std::string& channel) {
+  const std::size_t dot = out.find_last_of('.');
+  if (dot == std::string::npos) return out + "-" + channel;
+  return out.substr(0, dot) + "-" + channel + out.substr(dot);
+}
+
 int cmd_render(const CliArgs& args) {
   args.check_known(
-      {"in", "out", "grid", "method", "mc", "adaptive", "metrics-out",
-       "trace-out"});
+      {"in", "out", "grid", "method", "mc", "adaptive", "field",
+       "smooth-ensemble", "metrics-out", "trace-out"});
   ObsSession obs_session(args);
   const CommonFieldFlags common = parse_common_field_flags(args, 512L);
   const ParticleSet set = read_snapshot(common.in);
   const std::size_t ng = common.grid;
   const std::string& method = common.method;
   const std::string out = args.get("out", std::string{"map.pgm"});
+  FieldKind field = FieldKind::kDensity;
+  int ensemble = 1;
+  try {
+    field = parse_field_kind(args.get("field", std::string{"density"}));
+    ensemble = static_cast<int>(args.get("smooth-ensemble", 1L));
+    if (ensemble < 1) throw Error("--smooth-ensemble must be >= 1");
+    if (method == "cic" && field != FieldKind::kDensity)
+      throw Error("--method cic renders density only");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   FieldSpec spec;
   spec.origin = {0.0, 0.0};
@@ -178,9 +202,9 @@ int cmd_render(const CliArgs& args) {
   spec.zmax = set.box_length;
 
   WallTimer timer;
-  Grid2D map;
+  FieldGrid map;
   if (method == "cic") {
-    map = assign_surface_density(set, ng, AssignmentScheme::kCic);
+    map = FieldGrid(assign_surface_density(set, ng, AssignmentScheme::kCic));
   } else {
     // Any registered field kernel works here; --mc/--adaptive shape the
     // marching estimator and are ignored by the others.
@@ -196,22 +220,47 @@ int cmd_render(const CliArgs& args) {
     kopt.marching.monte_carlo_samples = static_cast<int>(args.get("mc", 1L));
     kopt.marching.adaptive_max_depth =
         static_cast<int>(args.get("adaptive", 0L));
+    engine::RenderRequest request{spec};
+    request.field = field;
+    request.smooth_ensemble = ensemble;
     engine::KernelStats stats;
-    map = engine::KernelRegistry::builtin().create(method, kopt)->render(
-        cube, engine::RenderRequest{spec}, nullptr, stats);
+    try {
+      map = engine::KernelRegistry::builtin().create(method, kopt)->render(
+          cube, request, nullptr, stats);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
   }
-  std::printf("rendered %zux%zu (%s) in %.2f s; grid mass %.0f of %.0f\n", ng,
-              ng, method.c_str(), timer.seconds(),
+  std::printf("rendered %zux%zu (%s, %s) in %.2f s; grid mass %.0f of %.0f\n",
+              ng, ng, method.c_str(), field_kind_name(field), timer.seconds(),
               map.sum() * spec.cell_size() * spec.cell_size(),
               set.total_mass());
-  write_log_pgm(out, map.values(), ng, ng);
-  std::printf("wrote %s\n", out.c_str());
+  if (field == FieldKind::kDensity) {
+    write_log_pgm(out, map.plane(0).values(), ng, ng);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    // Signed channels (velocity components, divergence, gradients): one
+    // diverging map per channel, suffixed with the channel name.
+    const std::vector<std::string> names = field_channel_names(field);
+    for (std::size_t c = 0; c < map.channels(); ++c) {
+      const Grid2D& plane = map.plane(c);
+      double range = 0.0;
+      for (const double v : plane.values())
+        range = std::max(range, std::abs(v));
+      const std::string path = channel_out_path(out, names[c]);
+      write_diverging_ppm(path, plane.values(), ng, ng,
+                          range > 0.0 ? range : 1.0);
+      std::printf("wrote %s (sum %.6e)\n", path.c_str(), plane.sum());
+    }
+  }
   obs_session.finish();
   return 0;
 }
 
 int cmd_pipeline(const CliArgs& args, bool default_transport_socket = false) {
   args.check_known({"in", "ranks", "fields", "length", "grid", "kernel",
+                    "field", "smooth-ensemble",
                     "balance", "metrics-out", "trace-out", "report",
                     "fault-plan", "max-retries", "comm-timeout-ms",
                     "bad-particles", "checkpoint-dir", "resume",
@@ -249,6 +298,10 @@ int cmd_pipeline(const CliArgs& args, bool default_transport_socket = false) {
     requests.push_back({groups[i].center});
   std::printf("%zu field requests on FOF objects, %d ranks\n", requests.size(),
               cfg.ranks);
+  if (opt.field != FieldKind::kDensity || opt.smooth_ensemble > 1)
+    std::printf("field: %s (%zu channel(s), ensemble %d)\n",
+                field_kind_name(opt.field), field_channels(opt.field),
+                opt.smooth_ensemble);
   if (socket)
     std::printf("transport: socket (%d worker processes, heartbeat %d ms)\n",
                 cfg.ranks, cfg.transport.heartbeat_interval_ms);
@@ -355,6 +408,23 @@ int cmd_pipeline(const CliArgs& args, bool default_transport_socket = false) {
                 audit_level_name(opt.audit.level), tot_audited,
                 tot_audit_violations);
   std::printf("grid checksum total: %.9e\n", checksum_total);
+  // Per-channel checksums (non-density fields only, so density output stays
+  // byte-identical to the scalar pipeline's).
+  std::vector<double> channel_sums;
+  std::vector<std::string> channel_names;
+  if (opt.field != FieldKind::kDensity) {
+    channel_names = field_channel_names(opt.field);
+    channel_sums.assign(channel_names.size(), 0.0);
+    for (const engine::FieldResult& f : fields) {
+      if (!f.completed) continue;
+      for (std::size_t c = 0;
+           c < f.grid.channels() && c < channel_sums.size(); ++c)
+        channel_sums[c] += f.grid.plane_sum(c);
+    }
+    for (std::size_t c = 0; c < channel_names.size(); ++c)
+      std::printf("field checksum %s: %.9e\n", channel_names[c].c_str(),
+                  channel_sums[c]);
+  }
   const simmpi::TransportStats wire = eng.last_wire_stats();
   if (socket && wire.messages > 0)
     std::printf("wire: %llu messages, mean latency %.1f us, "
@@ -392,6 +462,9 @@ int cmd_pipeline(const CliArgs& args, bool default_transport_socket = false) {
     report.add_summary("audit_violations",
                        static_cast<double>(tot_audit_violations));
     report.add_summary("grid_checksum_total", checksum_total);
+    for (std::size_t c = 0; c < channel_names.size(); ++c)
+      report.add_summary("field_checksum_" + channel_names[c],
+                         channel_sums[c]);
     report.add_summary("transport_socket", socket ? 1.0 : 0.0);
     if (socket && wire.messages > 0) {
       // Measured wire costs: the inputs framework/des reads back via
@@ -434,9 +507,12 @@ int cmd_lensing(const CliArgs& args) {
                                set.particle_mass);
   const FieldSpec spec = FieldSpec::centered(target, length, ng);
   engine::KernelStats stats;
+  // Lensing maps are a density-only product: the default RenderRequest
+  // renders the single density plane.
   const Grid2D sigma = engine::KernelRegistry::builtin().create("march")
                            ->render(cube, engine::RenderRequest{spec},
-                                    nullptr, stats);
+                                    nullptr, stats)
+                           .plane(0);
 
   RunningStats st;
   for (const double v : sigma.values()) st.add(v);

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < res.grids.size(); ++i)
       if (res.grids[i].sum() > densest_sum) {
         densest_sum = res.grids[i].sum();
-        densest = res.grids[i];
+        densest = res.grids[i].plane(0);
       }
   });
 

@@ -67,7 +67,8 @@ for key in ("inserts_per_sec_reuse", "inserts_per_sec_noreuse",
             "allocs_per_insert_reuse", "allocs_per_insert_noreuse"):
     assert key in doc["micro_delaunay"], f"micro_delaunay missing {key!r}"
 for key in ("serial_wall_s", "overlap_wall_s", "speedup", "checksums_equal",
-            "op_counters"):
+            "op_counters", "crossings_per_sec_serial",
+            "crossings_per_sec_overlap"):
     assert key in doc["pipeline"], f"pipeline missing {key!r}"
 assert doc["pipeline"]["checksums_equal"] is True, \
     "overlapped pipeline checksum differs from serial"

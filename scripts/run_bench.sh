@@ -130,6 +130,16 @@ doc = {
             "dtfe.kernel.tetra_crossings":
                 sm["counters"]["dtfe.kernel.tetra_crossings"],
         },
+        # Derived throughput: tetra crossings processed per wall-second.
+        # The crossing count is machine-independent, so this is the kernel
+        # work rate — comparable across runs with the same fixture and a
+        # direct read on whether overlap converts stalls into crossings.
+        "crossings_per_sec_serial": round(
+            sm["counters"]["dtfe.kernel.tetra_crossings"]
+            / serial["wall_s"]),
+        "crossings_per_sec_overlap": round(
+            om["counters"]["dtfe.kernel.tetra_crossings"]
+            / overlap["wall_s"]),
     },
 }
 with open(out, "w") as f:

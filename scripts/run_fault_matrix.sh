@@ -87,6 +87,10 @@ completed_of() { # parses "fields completed: X/Y ..." -> "X Y"
   printf '%s\n' "$1" | sed -n 's|^fields completed: \([0-9]*\)/\([0-9]*\).*|\1 \2|p'
 }
 
+channels_of() { # collects every "field checksum <name>: C" line
+  printf '%s\n' "$1" | sed -n 's|^field checksum .*|&|p'
+}
+
 checksum_of() { # parses "grid checksum total: C" -> "C"
   printf '%s\n' "$1" | sed -n 's|^grid checksum total: \(.*\)|\1|p'
 }
@@ -149,6 +153,61 @@ for ranks in 4 8; do
     else
       echo "   ok [$ranks ranks] $label (checksum exact)"
     fi
+  done
+
+  # Field column (DESIGN.md §10): the multi-channel estimators ride the same
+  # fault machinery. For velocity and vdiv: a fault-free thread baseline,
+  # the receiver-kill plan (checksum within relative 1e-6 of the field's own
+  # baseline, like the plan sweep), and a socket run whose total AND
+  # per-channel checksums must match the thread baseline EXACTLY.
+  for field in velocity vdiv; do
+    if ! fbase_out="$(run_pipeline "$ranks" "" --field "$field")"; then
+      echo "FAIL [$ranks ranks] field=$field: baseline exited nonzero"
+      failures=$((failures + 1))
+      continue
+    fi
+    read -r fcompleted ftotal <<<"$(completed_of "$fbase_out")"
+    fbase_checksum="$(checksum_of "$fbase_out")"
+    if [ -z "$fbase_checksum" ] || [ "$fcompleted" != "$ftotal" ]; then
+      echo "FAIL [$ranks ranks] field=$field: $fcompleted/$ftotal fields"
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! out="$(run_pipeline "$ranks" "kill:rank=1,tag=200,at=1" \
+                    --field "$field")"; then
+      echo "FAIL [$ranks ranks] field=$field kill: nonzero exit"
+      failures=$((failures + 1))
+      continue
+    fi
+    read -r completed total <<<"$(completed_of "$out")"
+    checksum="$(checksum_of "$out")"
+    if [ "$completed" != "$total" ] || [ "$total" != "$ftotal" ]; then
+      echo "FAIL [$ranks ranks] field=$field kill: $completed/$total fields"
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! awk -v a="$fbase_checksum" -v b="$checksum" 'BEGIN {
+          d = a - b; if (d < 0) d = -d;
+          m = (a < 0 ? -a : a); if (m < 1) m = 1;
+          exit !(d / m < 1e-6) }'; then
+      echo "FAIL [$ranks ranks] field=$field kill: checksum $checksum != $fbase_checksum"
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! out="$(run_pipeline "$ranks" "" --field "$field" --transport socket)"; then
+      echo "FAIL [$ranks ranks] field=$field socket: nonzero exit"
+      failures=$((failures + 1))
+      continue
+    fi
+    read -r completed total <<<"$(completed_of "$out")"
+    checksum="$(checksum_of "$out")"
+    if [ "$completed" != "$total" ] || [ "$checksum" != "$fbase_checksum" ] ||
+       [ "$(channels_of "$out")" != "$(channels_of "$fbase_out")" ]; then
+      echo "FAIL [$ranks ranks] field=$field socket: per-channel parity broken"
+      failures=$((failures + 1))
+      continue
+    fi
+    echo "   ok [$ranks ranks] field=$field (kill contained, socket parity exact)"
   done
 
   # Resume column: a checkpointed run interrupted by a rank kill, one journal

@@ -79,4 +79,23 @@ AuditResult audit_field_item(const Grid2D& grid, const FieldSpec& spec,
                              const HullProjection* hull,
                              const AuditOptions& opt);
 
+/// Multi-channel variant. A density FieldGrid delegates to the scalar audit
+/// above (identical findings and metrics). Velocity items add conservation
+/// checks instead of the scalar mass/negativity ones:
+///  * volume-weighted mean-velocity consistency (cheap): each LOS-mean cell
+///    is a volume-weighted average of the linear interpolant, so it must lie
+///    within the [min, max] of the model's vertex velocities (cells whose
+///    line misses the hull are exactly 0 and exempt);
+///  * divergence-theorem spot checks (full): at a few random tetrahedra the
+///    face-centroid flux of the interpolated velocity must equal ∇·v × V —
+///    an identity that is exact for the linear interpolant, so any mismatch
+///    beyond spot_rel_tol means corrupted gradients or vertex values.
+/// vdiv/grad items run the non-finite scan only. `velocity_model_seed` is
+/// the run-level analytic-model seed (engine/field_kernel.h RenderRequest).
+AuditResult audit_field_item(const FieldGrid& grid, const FieldSpec& spec,
+                             double ray_mass, const DensityField* density,
+                             const HullProjection* hull,
+                             const AuditOptions& opt,
+                             std::uint64_t velocity_model_seed = 0);
+
 }  // namespace dtfe

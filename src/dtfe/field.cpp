@@ -1,0 +1,44 @@
+#include "dtfe/field.h"
+
+namespace dtfe {
+
+const char* field_kind_name(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kDensity: return "density";
+    case FieldKind::kVelocity: return "velocity";
+    case FieldKind::kVdiv: return "vdiv";
+    case FieldKind::kGrad: return "grad";
+  }
+  return "density";
+}
+
+FieldKind parse_field_kind(const std::string& name) {
+  if (name == "density") return FieldKind::kDensity;
+  if (name == "velocity") return FieldKind::kVelocity;
+  if (name == "vdiv") return FieldKind::kVdiv;
+  if (name == "grad") return FieldKind::kGrad;
+  throw Error("unknown field kind '" + name +
+              "' (expected density, velocity, vdiv, or grad)");
+}
+
+std::size_t field_channels(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kDensity: return 1;
+    case FieldKind::kVelocity: return 3;
+    case FieldKind::kVdiv: return 1;
+    case FieldKind::kGrad: return 3;
+  }
+  return 1;
+}
+
+std::vector<std::string> field_channel_names(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kDensity: return {"density"};
+    case FieldKind::kVelocity: return {"vx", "vy", "vz"};
+    case FieldKind::kVdiv: return {"vdiv"};
+    case FieldKind::kGrad: return {"gx", "gy", "gz"};
+  }
+  return {"density"};
+}
+
+}  // namespace dtfe

@@ -1,0 +1,46 @@
+// Deterministic analytic velocity model.
+//
+// Snapshots in this repo carry positions only (ParticleSet has no velocity
+// block), yet the velocity/vdiv estimators need a per-particle velocity. We
+// assign one with a seeded superposition of sinusoidal plane-wave modes: a
+// pure function of (position, run seed), so every rank — owner-gather,
+// shipped work package, or post-fault recovery — derives byte-identical
+// velocities from the positions it already has, and the wire format does not
+// change. Swap this for real snapshot velocities when a format carries them;
+// every layer above sees only the sampled Vec3s.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec3.h"
+
+namespace dtfe {
+
+/// A frozen set of plane-wave modes: v(x) = Σ_m a_m cos(k_m·x + φ_m).
+/// Modes are derived from `seed` alone (splitmix64 stream), so two models
+/// with equal seeds agree to the last bit on every evaluation.
+class VelocityModel {
+ public:
+  /// `box` scales the wavelengths (modes span ~box/1 .. box/4) and `vscale`
+  /// the amplitudes; both are fixed at construction.
+  explicit VelocityModel(std::uint64_t seed, double box = 1.0,
+                         double vscale = 1.0);
+
+  /// Velocity at a position (pure; thread-safe).
+  Vec3 operator()(const Vec3& p) const;
+
+  /// Sample the model at every position.
+  std::vector<Vec3> sample(std::span<const Vec3> positions) const;
+
+ private:
+  struct Mode {
+    Vec3 amplitude;
+    Vec3 wavevector;
+    double phase = 0.0;
+  };
+  std::vector<Mode> modes_;
+};
+
+}  // namespace dtfe

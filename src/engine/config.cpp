@@ -52,6 +52,21 @@ EngineConfig EngineConfig::from_cli(const CliArgs& args) {
   if (!KernelRegistry::builtin().contains(opt.kernel))
     throw Error("unknown --kernel " + opt.kernel);
 
+  // Field channel selection (DESIGN.md §10). parse_field_kind throws the
+  // user-facing message for unknown names.
+  opt.field = parse_field_kind(args.get("field", std::string{"density"}));
+  opt.smooth_ensemble =
+      static_cast<int>(args.get("smooth-ensemble", 1L));
+  if (opt.smooth_ensemble < 1)
+    throw Error("--smooth-ensemble must be >= 1");
+  // Fail fast instead of surfacing this as a contained per-item failure on
+  // every item of the run.
+  if (opt.kernel == "tess" && opt.field != FieldKind::kDensity)
+    throw Error(
+        "kernel 'tess' renders density only; --field=" +
+        std::string(field_kind_name(opt.field)) +
+        " needs the march or walk kernel");
+
   // Intra-rank compute pipeline (engine/executor.h).
   opt.compute_ahead = static_cast<int>(args.get("compute-ahead", 0L));
   if (opt.compute_ahead < 0) throw Error("--compute-ahead must be >= 0");

@@ -41,8 +41,8 @@ struct FieldRequest {
 /// identical by construction, so the first committed copy wins.
 struct FieldResult {
   std::ptrdiff_t request = -1;  ///< index into the run_batch input span
-  Grid2D grid;
-  double checksum = 0.0;        ///< grid sum (the pipeline's item checksum)
+  FieldGrid grid;               ///< one plane per channel of config.field
+  double checksum = 0.0;        ///< total grid sum (the item checksum)
   bool completed = false;       ///< some rank committed this request
   bool failed = false;          ///< contained failure: grid is all zeros
   std::string fail_reason;

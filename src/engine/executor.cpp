@@ -147,7 +147,7 @@ void ItemExecutor::submit(ItemTask task) {
     const Deadline deadline = ctx_.make_deadline(task.pred_seconds);
     const ScopedCrashItem in_flight(ctx_.me, task.request_index,
                                     task.crash_phase, ctx_.state.crash);
-    Grid2D grid =
+    FieldGrid grid =
         compute_item(ctx_.state, std::move(cube), ctx_.particle_mass,
                      task.center, ctx_.opt, rec, &deadline);
     rec.request_index = task.request_index;
@@ -200,7 +200,7 @@ void ItemExecutor::commit_front() {
   p.record.recovered = s->task.recovered;
   const ScopedCrashItem in_flight(ctx_.me, s->task.request_index,
                                   s->task.crash_phase, ctx_.state.crash);
-  Grid2D grid = render_prepared(ctx_.state, p, ctx_.opt, &s->deadline);
+  FieldGrid grid = render_prepared(ctx_.state, p, ctx_.opt, &s->deadline);
   p.record.request_index = s->task.request_index;
   if (obs::metrics_enabled())
     obs::add(ctx_.state.metrics->executor_items);

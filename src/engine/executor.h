@@ -63,7 +63,7 @@ ThreadBudget configure_rank_threading(const PipelineOptions& opt,
 struct PreparedItem {
   ItemRecord record;
   std::optional<FieldCube> cube;  ///< engaged iff a render is still needed
-  Grid2D grid;                    ///< the final grid when `done`
+  FieldGrid grid;                 ///< the final grid when `done`
   double prep_cpu = 0.0;          ///< thread-CPU seconds of the prepare
   bool done = false;
 };
@@ -81,8 +81,8 @@ PreparedItem prepare_item(const EngineState& state,
 /// The rest of compute_item: kernel render, audit, fatal-audit escalation,
 /// output hardening. Must run on the rank thread (it may throw to kill the
 /// rank, and its timing lands in the rank's PhaseTimes). Consumes `p`.
-Grid2D render_prepared(const EngineState& state, PreparedItem& p,
-                       const PipelineOptions& opt, const Deadline* deadline);
+FieldGrid render_prepared(const EngineState& state, PreparedItem& p,
+                          const PipelineOptions& opt, const Deadline* deadline);
 
 /// One unit of work for the executor. `gather` materializes the particle
 /// cube (owner-index gather, unpacked package cube, or recovery re-fetch)

@@ -17,6 +17,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,10 @@ class FieldCube {
   const DensityField& density() const { return *density_; }
   const HullProjection& hull() const { return *hull_; }
   std::size_t n_particles() const { return points_.size(); }
+  /// Canonical-order particle positions (ensemble smoothing jitters copies
+  /// of these; velocity channels sample the analytic model at them).
+  std::span<const Vec3> points() const { return points_; }
+  double particle_mass() const { return particle_mass_; }
 
   /// Thread-CPU seconds spent in the Delaunay build alone (the pipeline
   /// accounts triangulation and interpolation phases separately).
@@ -54,17 +59,27 @@ class FieldCube {
 
  private:
   std::vector<Vec3> points_;
+  double particle_mass_ = 1.0;
   std::unique_ptr<Triangulation> tri_;
   std::unique_ptr<DensityField> density_;
   std::unique_ptr<HullProjection> hull_;
   double tri_seconds_ = 0.0;
 };
 
-/// One resolved render request: where/how to evaluate the field, plus the
-/// stream seed (0 = keep the kernel's configured default seed).
+/// One resolved render request: where/how to evaluate the field, which
+/// estimator set to reconstruct, plus the stream seed (0 = keep the
+/// kernel's configured default seed).
 struct RenderRequest {
   FieldSpec spec;
   std::uint64_t seed = 0;
+  FieldKind field = FieldKind::kDensity;
+  /// Number of jittered realizations to average (Aragon-Calvo 2020
+  /// mass-conserving stochastic smoothing); 1 = the exact legacy render.
+  int smooth_ensemble = 1;
+  /// Run-level seed for the analytic velocity model. Must be identical on
+  /// every rank that may render this item (owner, shipped, recovery), so it
+  /// is the RUN seed, never the per-item seed.
+  std::uint64_t model_seed = 0;
 };
 
 /// Kernel-agnostic health counters filled by render(). Kernels without a
@@ -83,8 +98,19 @@ class FieldKernel {
   /// Render the request over the cube. `deadline` (may be null) is polled
   /// cooperatively where the kernel supports cancellation; expiry surfaces
   /// as a thrown dtfe::Error, like every other contained render failure.
-  virtual Grid2D render(const FieldCube& cube, const RenderRequest& request,
-                        const Deadline* deadline, KernelStats& stats) const = 0;
+  /// When request.smooth_ensemble > 1 this averages that many jittered
+  /// realizations (rebuilding the tessellation per realization under the
+  /// same deadline); with the default of 1 it is exactly one render_one
+  /// call on the caller's cube, bit-identical to the scalar-era path.
+  FieldGrid render(const FieldCube& cube, const RenderRequest& request,
+                   const Deadline* deadline, KernelStats& stats) const;
+
+ protected:
+  /// One realization of the requested estimator set over one cube.
+  virtual FieldGrid render_one(const FieldCube& cube,
+                               const RenderRequest& request,
+                               const Deadline* deadline,
+                               KernelStats& stats) const = 0;
 };
 
 /// Per-kernel knobs a creation site may want to thread through the registry
@@ -100,8 +126,11 @@ class MarchingFieldKernel final : public FieldKernel {
  public:
   explicit MarchingFieldKernel(MarchingOptions base = {}) : base_(base) {}
   const char* name() const override { return "march"; }
-  Grid2D render(const FieldCube& cube, const RenderRequest& request,
-                const Deadline* deadline, KernelStats& stats) const override;
+
+ protected:
+  FieldGrid render_one(const FieldCube& cube, const RenderRequest& request,
+                       const Deadline* deadline,
+                       KernelStats& stats) const override;
 
  private:
   MarchingOptions base_;
@@ -111,8 +140,11 @@ class WalkingFieldKernel final : public FieldKernel {
  public:
   explicit WalkingFieldKernel(WalkingOptions base = {}) : base_(base) {}
   const char* name() const override { return "walk"; }
-  Grid2D render(const FieldCube& cube, const RenderRequest& request,
-                const Deadline* deadline, KernelStats& stats) const override;
+
+ protected:
+  FieldGrid render_one(const FieldCube& cube, const RenderRequest& request,
+                       const Deadline* deadline,
+                       KernelStats& stats) const override;
 
  private:
   WalkingOptions base_;
@@ -122,8 +154,13 @@ class TessFieldKernel final : public FieldKernel {
  public:
   explicit TessFieldKernel(TessOptions base = {}) : base_(base) {}
   const char* name() const override { return "tess"; }
-  Grid2D render(const FieldCube& cube, const RenderRequest& request,
-                const Deadline* deadline, KernelStats& stats) const override;
+
+ protected:
+  /// Density only: the zero-order Voronoi estimator has no meaningful
+  /// interpolant for vector channels, so non-density requests throw.
+  FieldGrid render_one(const FieldCube& cube, const RenderRequest& request,
+                       const Deadline* deadline,
+                       KernelStats& stats) const override;
 
  private:
   TessOptions base_;

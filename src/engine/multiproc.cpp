@@ -177,12 +177,15 @@ std::vector<FieldResult> Engine::run_batch_socket(
     wire_stats_.merge(p.wire);
     if (metrics) {
       // Fold the worker's registry into the launcher's so run reports see
-      // one process's worth of totals regardless of transport. Histograms
-      // are not shipped (bucket merges are not loss-free); counters and
-      // gauges cover every report consumer today.
+      // one process's worth of totals regardless of transport — counters,
+      // gauges, AND histograms, so launch reports match the thread
+      // transport field-for-field (per-phase duration distributions
+      // included).
       for (const auto& [name, v] : p.counters)
         if (v != 0.0) obs::add(obs::counter(name), v);
       for (const auto& [name, v] : p.gauges) obs::set(obs::gauge(name), v);
+      for (const auto& [name, h] : p.histograms)
+        obs::MetricsRegistry::global().merge_histogram(name, h);
     }
     merge_rank_items(p.result, results);
     runs.push_back({r, std::move(p.result)});
@@ -244,10 +247,10 @@ int run_worker(const WorkerOptions& wopt) {
     payload.rank = wopt.rank;
     payload.wire = ep.stats();
     if (wopt.metrics) {
-      const obs::MetricsSnapshot snap =
-          obs::MetricsRegistry::global().snapshot();
-      payload.counters = snap.counters;
-      payload.gauges = snap.gauges;
+      obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+      payload.counters = std::move(snap.counters);
+      payload.gauges = std::move(snap.gauges);
+      payload.histograms = std::move(snap.histograms);
     }
     payload.result = std::move(res);
     ep.send_result(encode_worker_payload(payload));

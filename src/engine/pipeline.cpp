@@ -21,9 +21,9 @@ const EngineState& EngineState::process_default() {
 
 namespace dtfe {
 
-Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
-                          const Vec3& center, const PipelineOptions& opt,
-                          ItemRecord& record, const Deadline* deadline) {
+FieldGrid compute_field_item(std::vector<Vec3> cube_particles, double mass,
+                             const Vec3& center, const PipelineOptions& opt,
+                             ItemRecord& record, const Deadline* deadline) {
   return engine::compute_item(engine::EngineState::process_default(),
                               std::move(cube_particles), mass, center, opt,
                               record, deadline);

@@ -193,7 +193,7 @@ PreparedItem prepare_item(const EngineState& state,
     record.failed = true;
     record.fail_reason = reason;
     if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
-    p.grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    p.grid = FieldGrid(opt.field, opt.field_resolution, opt.field_resolution);
     p.done = true;
   };
   for (const Vec3& q : cube_particles)
@@ -203,7 +203,7 @@ PreparedItem prepare_item(const EngineState& state,
     }
   if (cube_particles.size() < opt.min_particles) {
     // An (almost) empty region is an expected zero field, not a failure.
-    p.grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    p.grid = FieldGrid(opt.field, opt.field_resolution, opt.field_resolution);
     p.done = true;
     return p;
   }
@@ -228,15 +228,16 @@ PreparedItem prepare_item(const EngineState& state,
     record.cancelled =
         record.fail_reason.find("deadline exceeded") != std::string::npos;
     if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
-    p.grid = Grid2D(opt.field_resolution, opt.field_resolution);
+    p.grid = FieldGrid(opt.field, opt.field_resolution, opt.field_resolution);
     p.done = true;
   }
   p.prep_cpu = t.seconds();
   return p;
 }
 
-Grid2D render_prepared(const EngineState& state, PreparedItem& p,
-                       const PipelineOptions& opt, const Deadline* deadline) {
+FieldGrid render_prepared(const EngineState& state, PreparedItem& p,
+                          const PipelineOptions& opt,
+                          const Deadline* deadline) {
   if (p.done) return std::move(p.grid);
   ItemRecord& record = p.record;
   const Vec3 center = record.center;
@@ -244,16 +245,21 @@ Grid2D render_prepared(const EngineState& state, PreparedItem& p,
     record.failed = true;
     record.fail_reason = reason;
     if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
-    return Grid2D(opt.field_resolution, opt.field_resolution);
+    return FieldGrid(opt.field, opt.field_resolution, opt.field_resolution);
   };
   ThreadCpuTimer t;
-  Grid2D grid;
+  FieldGrid grid;
   AuditResult audit;
   RenderRequest request;
   try {
     request.spec =
         FieldSpec::centered(center, opt.field_length, opt.field_resolution);
     request.seed = item_seed(opt.seed, center);
+    request.field = opt.field;
+    request.smooth_ensemble = opt.smooth_ensemble;
+    // The velocity model is a run-level field: every rank that may render
+    // this item must sample the same one, so it seeds from the RUN seed.
+    request.model_seed = opt.seed;
     const std::unique_ptr<FieldKernel> kernel =
         state.kernels->create(opt.kernel);
     KernelStats stats;
@@ -272,7 +278,8 @@ Grid2D render_prepared(const EngineState& state, PreparedItem& p,
       std::uint64_t aseed = request.seed;
       aopt.seed = detail::splitmix64(aseed);  // same cells on replay
       audit = audit_field_item(grid, request.spec, stats.ray_mass,
-                               &p.cube->density(), &p.cube->hull(), aopt);
+                               &p.cube->density(), &p.cube->hull(), aopt,
+                               request.model_seed);
       record.audit = audit.summary();
     }
   } catch (const Error& e) {
@@ -285,7 +292,7 @@ Grid2D render_prepared(const EngineState& state, PreparedItem& p,
     record.cancelled =
         record.fail_reason.find("deadline exceeded") != std::string::npos;
     if (obs::metrics_enabled()) obs::add(state.metrics->items_failed);
-    return Grid2D(opt.field_resolution, opt.field_resolution);
+    return FieldGrid(opt.field, opt.field_resolution, opt.field_resolution);
   }
   // Fatal audits escalate OUTSIDE the containment catch: a conservation
   // violation means the run's outputs cannot be trusted, so it aborts the
@@ -298,15 +305,17 @@ Grid2D render_prepared(const EngineState& state, PreparedItem& p,
       what += " [" + f.check + "] " + f.detail;
     throw Error(what);
   }
-  for (const double v : grid.values())
-    if (!std::isfinite(v)) return contain("non-finite value in rendered grid");
+  for (std::size_t c = 0; c < grid.channels(); ++c)
+    for (const double v : grid.plane(c).values())
+      if (!std::isfinite(v))
+        return contain("non-finite value in rendered grid");
   return grid;
 }
 
-Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
-                    double mass, const Vec3& center,
-                    const PipelineOptions& opt, ItemRecord& record,
-                    const Deadline* deadline) {
+FieldGrid compute_item(const EngineState& state,
+                       std::vector<Vec3> cube_particles, double mass,
+                       const Vec3& center, const PipelineOptions& opt,
+                       ItemRecord& record, const Deadline* deadline) {
   PreparedItem p = prepare_item(state, std::move(cube_particles), mass, center,
                                 opt, deadline);
   // Callers pre-set path flags (fallback/recover) on `record` before the
@@ -314,7 +323,7 @@ Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
   // commit path does.
   p.record.fallback = record.fallback;
   p.record.recovered = record.recovered;
-  Grid2D grid = render_prepared(state, p, opt, deadline);
+  FieldGrid grid = render_prepared(state, p, opt, deadline);
   record = std::move(p.record);
   return grid;
 }
@@ -355,12 +364,21 @@ Deadline StageContext::make_deadline(double pred_seconds) const {
                1000.0 * pred_seconds * opt.watchdog_slack));
 }
 
-void StageContext::record_item(ItemRecord rec, Grid2D grid, double pred_tri,
+void StageContext::record_item(ItemRecord rec, FieldGrid grid, double pred_tri,
                                double pred_interp, bool received) {
   rec.predicted_tri = pred_tri;
   rec.predicted_interp = pred_interp;
   rec.received = received;
   rec.grid_sum = grid.sum();
+  // Per-channel accounting for the vector estimator sets. Density keeps the
+  // scalar-era metric set untouched (report parity with pre-refactor runs).
+  if (obs::metrics_enabled() && opt.field != FieldKind::kDensity) {
+    const std::vector<std::string> names = field_channel_names(grid.kind());
+    for (std::size_t c = 0; c < grid.channels(); ++c)
+      obs::add(obs::counter("dtfe.field." + names[c] + ".sum"),
+               grid.plane_sum(c));
+    obs::add(obs::counter("dtfe.field.items"));
+  }
   res.phases.triangulate += rec.actual_tri;
   res.phases.render += rec.actual_interp;
   if (rec.failed) ++res.items_failed;
@@ -511,6 +529,14 @@ void ExchangeStage::run(StageContext& ctx) const {
     fp += '|';
     fp += std::to_string(fnv1a64(ctx.field_centers.data(),
                                  ctx.field_centers.size() * sizeof(Vec3)));
+    // Channel configuration tokens are appended ONLY when non-default, so a
+    // pre-multi-channel (density, no ensemble) manifest still matches and
+    // old journals resume bitwise.
+    if (opt.field != FieldKind::kDensity || opt.smooth_ensemble > 1) {
+      fp += "|field=";
+      fp += field_kind_name(opt.field);
+      fp += "|ensemble=" + std::to_string(std::max(1, opt.smooth_ensemble));
+    }
     fp += '\n';
     if (opt.resume) {
       const std::string prev = read_checkpoint_manifest(opt.checkpoint_dir);
@@ -521,7 +547,9 @@ void ExchangeStage::run(StageContext& ctx) const {
                                     ctx.my_request_ids.end());
       for (CheckpointItem& item : load_checkpoints(opt.checkpoint_dir)) {
         if (item.grid.nx() != opt.field_resolution ||
-            item.grid.ny() != opt.field_resolution)
+            item.grid.ny() != opt.field_resolution ||
+            item.grid.kind() != opt.field ||
+            item.grid.channels() != field_channels(opt.field))
           continue;  // layout from another configuration; manifest was lost
         if (mine.count(static_cast<std::ptrdiff_t>(item.request_index)))
           ctx.replay_here.emplace_back(

@@ -80,13 +80,13 @@ struct StageContext {
   std::vector<Vec3> my_requests;                ///< centers this rank owns
   std::vector<std::ptrdiff_t> my_request_ids;   ///< global request indices
   std::unique_ptr<CheckpointWriter> ckpt;
-  std::vector<std::pair<std::ptrdiff_t, Grid2D>> replay_here;
+  std::vector<std::pair<std::ptrdiff_t, FieldGrid>> replay_here;
 
   // --- produced by ScheduleStage -------------------------------------------
   std::optional<GridIndex> index;
   std::vector<double> item_counts;
   std::ptrdiff_t test_item = -1;   ///< index into my_requests (-1 = none)
-  Grid2D test_grid;
+  FieldGrid test_grid;
   ItemRecord test_record;
   std::vector<double> predicted;
   double total_predicted = 0.0;
@@ -101,7 +101,7 @@ struct StageContext {
   Deadline make_deadline(double pred_seconds) const;
   /// Commit one computed item: phase accounting, durability, metrics,
   /// item trace spans, result bookkeeping.
-  void record_item(ItemRecord rec, Grid2D grid, double pred_tri,
+  void record_item(ItemRecord rec, FieldGrid grid, double pred_tri,
                    double pred_interp, bool received);
   /// Gather the cube for my_requests[remaining[j]], compute, record.
   void execute_local(std::size_t idx_in_remaining);
@@ -137,9 +137,9 @@ PipelineResult run_stages(simmpi::Comm& comm, const PipelineOptions& opt,
 /// The shared kernel invocation behind compute_field_item (which forwards
 /// with EngineState::process_default()): explicit-state variant used by the
 /// stages so engine-owned metrics/kernels are honored.
-Grid2D compute_item(const EngineState& state, std::vector<Vec3> cube_particles,
-                    double mass, const Vec3& center,
-                    const PipelineOptions& opt, ItemRecord& record,
-                    const Deadline* deadline);
+FieldGrid compute_item(const EngineState& state,
+                       std::vector<Vec3> cube_particles, double mass,
+                       const Vec3& center, const PipelineOptions& opt,
+                       ItemRecord& record, const Deadline* deadline);
 
 }  // namespace dtfe::engine

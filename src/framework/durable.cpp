@@ -18,6 +18,11 @@ namespace {
 // "DTFECKP1" little-endian: the per-record magic. Bump the trailing digit on
 // any layout change — mismatched journals are then ignored, not misread.
 constexpr std::uint64_t kRecordMagic = 0x31504B4345465444ull;
+// "DTFECKP2": multi-channel records (payload carries the field kind and the
+// plane count). Single-plane density items keep writing v1 records so a
+// density journal is byte-identical before and after the field engine, and
+// resumes in either direction.
+constexpr std::uint64_t kRecordMagicV2 = 0x32504B4345465444ull;
 
 namespace fs = std::filesystem;
 
@@ -75,19 +80,48 @@ CheckpointWriter::~CheckpointWriter() {
 }
 
 void CheckpointWriter::append(std::int64_t request_index, const Grid2D& grid) {
-  // Record layout: magic | payload_bytes | payload | fnv1a64(payload), where
-  // payload = request_index | nx | ny | values. A crash between the write
-  // and the fsync can only tear the LAST record, which the loader detects.
+  // v1 record layout: magic | payload_bytes | payload | fnv1a64(payload),
+  // where payload = request_index | nx | ny | values. A crash between the
+  // write and the fsync can only tear the LAST record, which the loader
+  // detects.
   std::string payload;
   payload.reserve(24 + 8 * grid.size());
   put_u64(payload, static_cast<std::uint64_t>(request_index));
   put_u64(payload, static_cast<std::uint64_t>(grid.nx()));
   put_u64(payload, static_cast<std::uint64_t>(grid.ny()));
   for (std::size_t i = 0; i < grid.size(); ++i) put_f64(payload, grid.flat(i));
+  append_record(kRecordMagic, payload);
+}
 
+void CheckpointWriter::append(std::int64_t request_index,
+                              const FieldGrid& grid) {
+  if (grid.kind() == FieldKind::kDensity && grid.channels() == 1) {
+    // Bitwise the pre-multi-channel journal bytes.
+    append(request_index, grid.plane(0));
+    return;
+  }
+  // v2 payload = request_index | kind | nplanes | nx | ny | plane values
+  // (plane 0 first, row-major within each plane).
+  std::string payload;
+  payload.reserve(40 + 8 * grid.channels() * grid.nx() * grid.ny());
+  put_u64(payload, static_cast<std::uint64_t>(request_index));
+  put_u64(payload, static_cast<std::uint64_t>(grid.kind()));
+  put_u64(payload, static_cast<std::uint64_t>(grid.channels()));
+  put_u64(payload, static_cast<std::uint64_t>(grid.nx()));
+  put_u64(payload, static_cast<std::uint64_t>(grid.ny()));
+  for (std::size_t c = 0; c < grid.channels(); ++c) {
+    const Grid2D& plane = grid.plane(c);
+    for (std::size_t i = 0; i < plane.size(); ++i)
+      put_f64(payload, plane.flat(i));
+  }
+  append_record(kRecordMagicV2, payload);
+}
+
+void CheckpointWriter::append_record(std::uint64_t magic,
+                                     const std::string& payload) {
   std::string record;
   record.reserve(payload.size() + 24);
-  put_u64(record, kRecordMagic);
+  put_u64(record, magic);
   put_u64(record, static_cast<std::uint64_t>(payload.size()));
   record += payload;
   put_u64(record, fnv1a64(payload.data(), payload.size()));
@@ -125,9 +159,12 @@ std::vector<CheckpointItem> load_checkpoints(const std::string& dir) {
     for (;;) {
       char head[16];
       if (std::fread(head, 1, 16, f) != 16) break;        // clean EOF or torn
-      if (get_u64(head) != kRecordMagic) break;           // corrupt: stop here
+      const std::uint64_t magic = get_u64(head);
+      if (magic != kRecordMagic && magic != kRecordMagicV2)
+        break;                                            // corrupt: stop here
       const std::uint64_t nbytes = get_u64(head + 8);
-      if (nbytes < 24 || nbytes > (1ull << 32)) break;
+      const std::uint64_t min_bytes = magic == kRecordMagic ? 24 : 40;
+      if (nbytes < min_bytes || nbytes > (1ull << 32)) break;
       std::string payload(nbytes, '\0');
       if (std::fread(payload.data(), 1, nbytes, f) != nbytes) break;  // torn
       char sumb[8];
@@ -136,15 +173,41 @@ std::vector<CheckpointItem> load_checkpoints(const std::string& dir) {
         break;  // bit damage
       const auto request_index =
           static_cast<std::int64_t>(get_u64(payload.data()));
-      const auto nx = static_cast<std::size_t>(get_u64(payload.data() + 8));
-      const auto ny = static_cast<std::size_t>(get_u64(payload.data() + 16));
-      if (nbytes != 24 + 8 * nx * ny) break;
-      if (!seen.insert(request_index).second) continue;  // duplicate commit
       CheckpointItem item;
       item.request_index = request_index;
-      item.grid = Grid2D(nx, ny);
-      for (std::size_t i = 0; i < nx * ny; ++i)
-        item.grid.flat(i) = get_f64(payload.data() + 24 + 8 * i);
+      if (magic == kRecordMagic) {
+        // v1: single-plane density.
+        const auto nx = static_cast<std::size_t>(get_u64(payload.data() + 8));
+        const auto ny = static_cast<std::size_t>(get_u64(payload.data() + 16));
+        if (nbytes != 24 + 8 * nx * ny) break;
+        if (!seen.insert(request_index).second) continue;  // duplicate commit
+        Grid2D plane(nx, ny);
+        for (std::size_t i = 0; i < nx * ny; ++i)
+          plane.flat(i) = get_f64(payload.data() + 24 + 8 * i);
+        item.grid = FieldGrid(std::move(plane));
+      } else {
+        // v2: kind + plane count precede the grid shape.
+        const std::uint64_t kind_raw = get_u64(payload.data() + 8);
+        const auto nplanes =
+            static_cast<std::size_t>(get_u64(payload.data() + 16));
+        const auto nx = static_cast<std::size_t>(get_u64(payload.data() + 24));
+        const auto ny = static_cast<std::size_t>(get_u64(payload.data() + 32));
+        if (kind_raw > static_cast<std::uint64_t>(FieldKind::kGrad)) break;
+        const auto kind = static_cast<FieldKind>(kind_raw);
+        if (nplanes != field_channels(kind) || nplanes == 0) break;
+        if (nbytes != 40 + 8 * nplanes * nx * ny) break;
+        if (!seen.insert(request_index).second) continue;  // duplicate commit
+        std::vector<Grid2D> planes;
+        planes.reserve(nplanes);
+        const char* cursor = payload.data() + 40;
+        for (std::size_t c = 0; c < nplanes; ++c) {
+          Grid2D plane(nx, ny);
+          for (std::size_t i = 0; i < nx * ny; ++i, cursor += 8)
+            plane.flat(i) = get_f64(cursor);
+          planes.push_back(std::move(plane));
+        }
+        item.grid = FieldGrid(kind, std::move(planes));
+      }
       items.push_back(std::move(item));
     }
     std::fclose(f);

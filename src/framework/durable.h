@@ -32,7 +32,7 @@ namespace dtfe {
 /// One committed work item recovered from a journal.
 struct CheckpointItem {
   std::int64_t request_index = -1;
-  Grid2D grid;
+  FieldGrid grid;
 };
 
 /// FNV-1a 64-bit over a byte range (the journal record checksum; also used
@@ -50,13 +50,20 @@ class CheckpointWriter {
   CheckpointWriter(const CheckpointWriter&) = delete;
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
-  /// Durably append one committed item (write + flush + fsync).
+  /// Durably append one committed item (write + flush + fsync). A
+  /// single-plane density grid is written as a v1 record — byte-identical
+  /// to the pre-multi-channel journal format — so density checkpoints stay
+  /// bitwise compatible in both directions; any other field kind uses the
+  /// versioned v2 record that carries the kind and plane count.
+  void append(std::int64_t request_index, const FieldGrid& grid);
   void append(std::int64_t request_index, const Grid2D& grid);
 
   int records_written() const { return records_written_; }
   const std::string& path() const { return path_; }
 
  private:
+  void append_record(std::uint64_t magic, const std::string& payload);
+
   std::string path_;
   void* file_ = nullptr;  // FILE*, opaque to keep <cstdio> out of the header
   int records_written_ = 0;

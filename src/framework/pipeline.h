@@ -47,6 +47,14 @@ struct PipelineOptions {
   /// "march" — the paper's kernel and the bitwise-deterministic default —
   /// "walk", or "tess"; unknown names throw when the first item runs).
   std::string kernel = "march";
+  /// Which estimator set every item reconstructs (dtfe/field.h). kDensity
+  /// is the paper's field and keeps the scalar-era path bitwise intact;
+  /// velocity/vdiv/grad render multi-channel FieldGrids through the same
+  /// stages ("tess" supports density only).
+  FieldKind field = FieldKind::kDensity;
+  /// Jittered realizations averaged per item (Aragon-Calvo 2020
+  /// mass-conserving stochastic smoothing); 1 = exact legacy render.
+  int smooth_ensemble = 1;
   // --- fault tolerance (see README "Fault tolerance") ---------------------
   /// Run the acknowledged work-package protocol plus the post-execution
   /// recovery phase. Off = the paper's original fire-and-forget exchange.
@@ -146,7 +154,7 @@ struct PipelineResult {
   WorkloadModel model;
   WorkShareSchedule schedule;
   std::vector<ItemRecord> items;  ///< every item COMPUTED by this rank
-  std::vector<Grid2D> grids;      ///< parallel to items if keep_grids
+  std::vector<FieldGrid> grids;   ///< parallel to items if keep_grids
   std::size_t owned_particles = 0;
   std::size_t ghost_particles = 0;
   std::size_t local_items = 0;     ///< requests whose center this rank owns
@@ -186,10 +194,10 @@ PipelineResult run_pipeline(simmpi::Comm& comm, const ParticleSet& particles,
 /// ANY rank computing this item from ANY data path (owner gather, shipped
 /// package, recovery re-fetch, snapshot re-read) renders a bitwise
 /// identical grid — the property checkpoint resume relies on.
-Grid2D compute_field_item(std::vector<Vec3> cube_particles, double mass,
-                          const Vec3& center, const PipelineOptions& opt,
-                          ItemRecord& record,
-                          const Deadline* deadline = nullptr);
+FieldGrid compute_field_item(std::vector<Vec3> cube_particles, double mass,
+                             const Vec3& center, const PipelineOptions& opt,
+                             ItemRecord& record,
+                             const Deadline* deadline = nullptr);
 
 /// Re-fetches the particle cube for a field center (the recovery phase's
 /// data source: in-memory extraction or a targeted snapshot re-read).

@@ -11,7 +11,9 @@ namespace {
 
 constexpr std::uint32_t kConfigMagic = 0x43464750u;  // "PGFC"
 constexpr std::uint32_t kResultMagic = 0x52534C50u;  // "PLSR"
-constexpr std::uint32_t kVersion = 1;
+// v2: PipelineOptions gained field/smooth_ensemble, grids became
+// multi-channel FieldGrids, and WorkerPayload ships histogram snapshots.
+constexpr std::uint32_t kVersion = 2;
 
 class ByteWriter {
  public:
@@ -125,6 +127,8 @@ void write_options(ByteWriter& w, const PipelineOptions& o) {
   w.pod(static_cast<std::uint8_t>(o.audit_fatal));
   w.pod(o.compute_ahead);
   w.pod(o.threads);
+  w.pod(static_cast<std::uint64_t>(o.field));
+  w.pod(o.smooth_ensemble);
 }
 
 PipelineOptions read_options(ByteReader& r) {
@@ -151,7 +155,72 @@ PipelineOptions read_options(ByteReader& r) {
   o.audit_fatal = r.pod<std::uint8_t>() != 0;
   o.compute_ahead = r.pod<int>();
   o.threads = r.pod<int>();
+  o.field = static_cast<FieldKind>(r.pod<std::uint64_t>());
+  o.smooth_ensemble = r.pod<int>();
   return o;
+}
+
+void write_field_grid(ByteWriter& w, const FieldGrid& g) {
+  w.pod(static_cast<std::uint64_t>(g.kind()));
+  w.pod(static_cast<std::uint64_t>(g.channels()));
+  for (std::size_t c = 0; c < g.channels(); ++c) {
+    const Grid2D& plane = g.plane(c);
+    w.pod(static_cast<std::uint64_t>(plane.nx()));
+    w.pod(static_cast<std::uint64_t>(plane.ny()));
+    std::vector<double> vals(plane.values().begin(), plane.values().end());
+    w.pod_vec(vals);
+  }
+}
+
+FieldGrid read_field_grid(ByteReader& r) {
+  const std::uint64_t kind_raw = r.pod<std::uint64_t>();
+  DTFE_CHECK_MSG(kind_raw <= static_cast<std::uint64_t>(FieldKind::kGrad),
+                 "worker payload: bad field kind " << kind_raw);
+  const auto kind = static_cast<FieldKind>(kind_raw);
+  const std::size_t nplanes = r.len();
+  DTFE_CHECK_MSG(nplanes == field_channels(kind),
+                 "worker payload: plane count mismatch for field "
+                     << field_kind_name(kind));
+  std::vector<Grid2D> planes;
+  planes.reserve(nplanes);
+  for (std::size_t c = 0; c < nplanes; ++c) {
+    const auto nx = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    const auto ny = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    const std::vector<double> vals = r.pod_vec<double>();
+    DTFE_CHECK_MSG(vals.size() == nx * ny,
+                   "worker payload: grid size mismatch");
+    Grid2D g(nx, ny);
+    std::memcpy(g.values().data(), vals.data(), vals.size() * sizeof(double));
+    planes.push_back(std::move(g));
+  }
+  return FieldGrid(kind, std::move(planes));
+}
+
+void write_histograms(
+    ByteWriter& w, const std::map<std::string, obs::HistogramSnapshot>& hs) {
+  w.pod(static_cast<std::uint64_t>(hs.size()));
+  for (const auto& [name, h] : hs) {
+    w.str(name);
+    w.pod_vec(h.bounds);
+    w.pod_vec(h.counts);
+    w.pod(h.sum);
+    w.pod(h.count);
+  }
+}
+
+std::map<std::string, obs::HistogramSnapshot> read_histograms(ByteReader& r) {
+  const std::size_t n = r.len();
+  std::map<std::string, obs::HistogramSnapshot> hs;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    obs::HistogramSnapshot h;
+    h.bounds = r.pod_vec<double>();
+    h.counts = r.pod_vec<double>();
+    h.sum = r.pod<double>();
+    h.count = r.pod<double>();
+    hs[std::move(name)] = std::move(h);
+  }
+  return hs;
 }
 
 void write_item(ByteWriter& w, const ItemRecord& it) {
@@ -231,6 +300,7 @@ std::vector<std::byte> encode_worker_payload(const WorkerPayload& p) {
   w.pod(p.wire);
   w.map(p.counters);
   w.map(p.gauges);
+  write_histograms(w, p.histograms);
   const PipelineResult& res = p.result;
   w.pod(res.phases);
   w.pod(res.model);
@@ -240,12 +310,7 @@ std::vector<std::byte> encode_worker_payload(const WorkerPayload& p) {
   w.pod(static_cast<std::uint64_t>(res.items.size()));
   for (const ItemRecord& it : res.items) write_item(w, it);
   w.pod(static_cast<std::uint64_t>(res.grids.size()));
-  for (const Grid2D& g : res.grids) {
-    w.pod(static_cast<std::uint64_t>(g.nx()));
-    w.pod(static_cast<std::uint64_t>(g.ny()));
-    std::vector<double> vals(g.values().begin(), g.values().end());
-    w.pod_vec(vals);
-  }
+  for (const FieldGrid& g : res.grids) write_field_grid(w, g);
   w.pod(static_cast<std::uint64_t>(res.owned_particles));
   w.pod(static_cast<std::uint64_t>(res.ghost_particles));
   w.pod(static_cast<std::uint64_t>(res.local_items));
@@ -276,6 +341,7 @@ WorkerPayload decode_worker_payload(std::span<const std::byte> bytes) {
   p.wire = r.pod<simmpi::TransportStats>();
   p.counters = r.map();
   p.gauges = r.map();
+  p.histograms = read_histograms(r);
   PipelineResult& res = p.result;
   res.phases = r.pod<PhaseTimes>();
   res.model = r.pod<WorkloadModel>();
@@ -287,16 +353,8 @@ WorkerPayload decode_worker_payload(std::span<const std::byte> bytes) {
   for (std::size_t i = 0; i < n_items; ++i) res.items.push_back(read_item(r));
   const std::size_t n_grids = r.len();
   res.grids.reserve(n_grids);
-  for (std::size_t i = 0; i < n_grids; ++i) {
-    const auto nx = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    const auto ny = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    const std::vector<double> vals = r.pod_vec<double>();
-    DTFE_CHECK_MSG(vals.size() == nx * ny,
-                   "worker payload: grid size mismatch");
-    Grid2D g(nx, ny);
-    std::memcpy(g.values().data(), vals.data(), vals.size() * sizeof(double));
-    res.grids.push_back(std::move(g));
-  }
+  for (std::size_t i = 0; i < n_grids; ++i)
+    res.grids.push_back(read_field_grid(r));
   res.owned_particles = static_cast<std::size_t>(r.pod<std::uint64_t>());
   res.ghost_particles = static_cast<std::size_t>(r.pod<std::uint64_t>());
   res.local_items = static_cast<std::size_t>(r.pod<std::uint64_t>());

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "framework/pipeline.h"
+#include "obs/metrics.h"
 #include "simmpi/socket_transport.h"
 
 namespace dtfe {
@@ -41,6 +42,10 @@ struct WorkerPayload {
   simmpi::TransportStats wire;  ///< per-message latency/bytes measurements
   std::map<std::string, double> counters;  ///< worker metrics snapshot
   std::map<std::string, double> gauges;
+  /// Per-phase (and other) histogram snapshots, folded into the launcher's
+  /// registry so socket-run reports carry the same distribution fields the
+  /// thread transport reports.
+  std::map<std::string, obs::HistogramSnapshot> histograms;
   PipelineResult result;
 };
 

@@ -50,3 +50,12 @@ namespace detail {
 #else
 #define DTFE_DCHECK(expr) DTFE_CHECK(expr)
 #endif
+
+// Debug-only assertion for hot accessor paths (e.g. Grid2D::at bounds).
+// Compiles to nothing in NDEBUG builds so release kernels pay zero cost;
+// in debug builds a violation throws Error with the failing expression.
+#ifdef NDEBUG
+#define DTFE_ASSERT(expr) ((void)0)
+#else
+#define DTFE_ASSERT(expr) DTFE_CHECK(expr)
+#endif

@@ -70,6 +70,17 @@ bool bitwise_equal(const Grid2D& a, const Grid2D& b) {
                      a.size() * sizeof(double)) == 0;
 }
 
+bool bitwise_equal(const FieldGrid& a, const FieldGrid& b) {
+  if (a.kind() != b.kind() || a.channels() != b.channels()) return false;
+  for (std::size_t c = 0; c < a.channels(); ++c)
+    if (!bitwise_equal(a.plane(c), b.plane(c))) return false;
+  return true;
+}
+
+bool bitwise_equal(const FieldGrid& a, const Grid2D& b) {
+  return a.channels() == 1 && bitwise_equal(a.plane(0), b);
+}
+
 // ---- checkpoint journal -----------------------------------------------------
 
 TEST(CheckpointJournal, RoundTripIsBitwise) {
@@ -145,6 +156,72 @@ TEST(CheckpointJournal, FirstCommitWinsAcrossJournals) {
   EXPECT_EQ(items[0].request_index, 5);
   EXPECT_TRUE(bitwise_equal(items[0].grid, make_grid(8, 1.0)));
   EXPECT_EQ(items[1].request_index, 6);
+}
+
+TEST(CheckpointJournal, MultiChannelV2RecordsRoundTripBitwise) {
+  const ScratchDir dir("pdtfe_ckpt_v2");
+  const FieldGrid velocity(
+      FieldKind::kVelocity,
+      {make_grid(8, 1.0), make_grid(8, -2.5), make_grid(8, 1e-300)});
+  const FieldGrid vdiv(FieldKind::kVdiv, {make_grid(4, -0.25)});
+  {
+    CheckpointWriter w(dir.path(), 0);
+    w.append(3, velocity);
+    w.append(9, vdiv);
+    // A single-plane density record rides along in the same journal (it is
+    // written as legacy v1 bytes; the loader dispatches on the magic).
+    w.append(12, FieldGrid(make_grid(8, 2.0)));
+    EXPECT_EQ(w.records_written(), 3);
+  }
+  const std::vector<CheckpointItem> items = load_checkpoints(dir.path());
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].request_index, 3);
+  EXPECT_EQ(items[0].grid.kind(), FieldKind::kVelocity);
+  EXPECT_TRUE(bitwise_equal(items[0].grid, velocity));
+  EXPECT_EQ(items[1].request_index, 9);
+  EXPECT_EQ(items[1].grid.kind(), FieldKind::kVdiv);
+  EXPECT_TRUE(bitwise_equal(items[1].grid, vdiv));
+  EXPECT_EQ(items[2].request_index, 12);
+  EXPECT_EQ(items[2].grid.kind(), FieldKind::kDensity);
+  EXPECT_TRUE(bitwise_equal(items[2].grid, make_grid(8, 2.0)));
+}
+
+TEST(CheckpointJournal, DensityJournalsKeepTheLegacyV1Format) {
+  // A journal of single-plane density FieldGrids must be byte-for-byte what
+  // the pre-field-engine Grid2D writer produced: old density-only journals
+  // resume under the new loader, and new density journals stay readable by
+  // old builds.
+  const ScratchDir dir_old("pdtfe_ckpt_v1_old");
+  const ScratchDir dir_new("pdtfe_ckpt_v1_new");
+  std::string old_path, new_path;
+  {
+    CheckpointWriter wo(dir_old.path(), 0);
+    wo.append(3, make_grid(8, 1.0));  // legacy scalar overload: v1 bytes
+    wo.append(7, make_grid(8, -0.5));
+    old_path = wo.path();
+    CheckpointWriter wn(dir_new.path(), 0);
+    wn.append(3, FieldGrid(make_grid(8, 1.0)));  // field-engine overload
+    wn.append(7, FieldGrid(make_grid(8, -0.5)));
+    new_path = wn.path();
+  }
+  const auto slurp = [](const std::string& path) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string bytes;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+      bytes.append(buf, got);
+    std::fclose(f);
+    return bytes;
+  };
+  EXPECT_EQ(slurp(old_path), slurp(new_path));
+
+  const std::vector<CheckpointItem> items = load_checkpoints(dir_old.path());
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].grid.kind(), FieldKind::kDensity);
+  EXPECT_EQ(items[0].grid.channels(), 1u);
+  EXPECT_TRUE(bitwise_equal(items[0].grid, make_grid(8, 1.0)));
 }
 
 TEST(CheckpointJournal, MissingDirectoryIsEmptyNotAnError) {
@@ -267,7 +344,7 @@ TEST(Watchdog, CancelsSlowItemWithinTwiceTheDeadline) {
   const Deadline deadline = Deadline::after_ms(budget_ms);
   ItemRecord rec;
   const auto t0 = std::chrono::steady_clock::now();
-  const Grid2D grid =
+  const FieldGrid grid =
       compute_field_item(std::move(cube), 1.0, {3, 3, 3}, opt, rec, &deadline);
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
@@ -293,7 +370,7 @@ TEST(Watchdog, UnarmedDeadlineNeverCancels) {
   opt.field_resolution = 16;
   const Deadline unarmed;
   ItemRecord rec;
-  const Grid2D grid =
+  const FieldGrid grid =
       compute_field_item(std::move(cube), 1.0, {3, 3, 3}, opt, rec, &unarmed);
   EXPECT_FALSE(rec.failed);
   EXPECT_FALSE(rec.cancelled);
@@ -452,7 +529,7 @@ TEST(PipelineResume, KillAndDamagedJournalsResumeBitwiseIdentical) {
   // (1) Uninterrupted baseline, no checkpointing: the reference grids.
   //     Also discover a work-sharing receiver to kill later.
   std::mutex mtx;
-  std::map<std::ptrdiff_t, Grid2D> base_grids;
+  std::map<std::ptrdiff_t, FieldGrid> base_grids;
   std::map<int, int> receiver_to_sender;
   simmpi::run(4, [&](simmpi::Comm& c) {
     const PipelineResult res = run_pipeline(c, set, centers, base_opt);
@@ -496,7 +573,7 @@ TEST(PipelineResume, KillAndDamagedJournalsResumeBitwiseIdentical) {
   //     uninterrupted baseline.
   PipelineOptions resume_opt = ckpt_opt;
   resume_opt.resume = true;
-  std::map<std::ptrdiff_t, Grid2D> resumed_grids;
+  std::map<std::ptrdiff_t, FieldGrid> resumed_grids;
   std::size_t replayed = 0, recomputed = 0;
   simmpi::run(4, [&](simmpi::Comm& c) {
     const PipelineResult res = run_pipeline(c, set, centers, resume_opt);
@@ -510,6 +587,76 @@ TEST(PipelineResume, KillAndDamagedJournalsResumeBitwiseIdentical) {
   });
   EXPECT_GT(replayed, 0u) << "no committed items were replayed";
   EXPECT_GT(recomputed, 0u) << "journal damage should force recomputation";
+  ASSERT_EQ(resumed_grids.size(), centers.size());
+  for (const auto& [id, base] : base_grids) {
+    ASSERT_TRUE(resumed_grids.count(id)) << "field " << id << " missing";
+    EXPECT_TRUE(bitwise_equal(resumed_grids.at(id), base))
+        << "field " << id << " not bitwise identical after resume";
+  }
+}
+
+// The same acceptance bar for the multi-channel engine: an interrupted
+// --field=velocity --smooth-ensemble=4 run, resumed from (undamaged)
+// journals, must reproduce the uninterrupted run's three-plane grids
+// BITWISE — v2 records replay exactly and recomputed items re-derive the
+// same jitter streams and velocity model from the run seed.
+TEST(PipelineResume, VelocityEnsembleKillAndResumeBitwiseIdentical) {
+  const ScratchDir ckpt("pdtfe_resume_vel_ckpt");
+  const ParticleSet set = clustered_set();
+  const std::vector<Vec3> centers = clustered_centers();
+  PipelineOptions base_opt = durable_options();
+  base_opt.field = FieldKind::kVelocity;
+  base_opt.smooth_ensemble = 4;
+
+  // (1) Uninterrupted baseline; also discover a work-sharing receiver.
+  std::mutex mtx;
+  std::map<std::ptrdiff_t, FieldGrid> base_grids;
+  std::map<int, int> receiver_to_sender;
+  simmpi::run(4, [&](simmpi::Comm& c) {
+    const PipelineResult res = run_pipeline(c, set, centers, base_opt);
+    const std::lock_guard<std::mutex> lock(mtx);
+    for (std::size_t i = 0; i < res.items.size(); ++i)
+      if (res.items[i].request_index >= 0)
+        base_grids.emplace(res.items[i].request_index, res.grids[i]);
+    if (!res.schedule.recv_list.empty())
+      receiver_to_sender[c.rank()] = res.schedule.recv_list[0];
+  });
+  ASSERT_EQ(base_grids.size(), centers.size());
+  for (const auto& [id, grid] : base_grids) {
+    EXPECT_EQ(grid.kind(), FieldKind::kVelocity) << "field " << id;
+    ASSERT_EQ(grid.channels(), 3u) << "field " << id;
+  }
+  ASSERT_FALSE(receiver_to_sender.empty())
+      << "the clustered workload produced no work-sharing receiver";
+
+  // (2) Interrupted run with checkpointing: a receiver dies at its first
+  //     work-package operation, the run completes via recovery.
+  PipelineOptions ckpt_opt = base_opt;
+  ckpt_opt.checkpoint_dir = ckpt.path();
+  const int receiver = receiver_to_sender.begin()->first;
+  const simmpi::FaultPlan plan = simmpi::FaultPlan::parse(
+      "kill:rank=" + std::to_string(receiver) + ",tag=200,at=1");
+  simmpi::RunOptions run_opts;
+  run_opts.fault_plan = &plan;
+  simmpi::run(4, run_opts, [&](simmpi::Comm& c) {
+    (void)run_pipeline(c, set, centers, ckpt_opt);
+  });
+
+  // (3) Resume: replayed v2 records + any recomputed items must be BITWISE
+  //     identical to the uninterrupted baseline, channel by channel.
+  PipelineOptions resume_opt = ckpt_opt;
+  resume_opt.resume = true;
+  std::map<std::ptrdiff_t, FieldGrid> resumed_grids;
+  std::size_t replayed = 0;
+  simmpi::run(4, [&](simmpi::Comm& c) {
+    const PipelineResult res = run_pipeline(c, set, centers, resume_opt);
+    const std::lock_guard<std::mutex> lock(mtx);
+    replayed += res.items_replayed;
+    for (std::size_t i = 0; i < res.items.size(); ++i)
+      if (res.items[i].request_index >= 0)
+        resumed_grids.emplace(res.items[i].request_index, res.grids[i]);
+  });
+  EXPECT_GT(replayed, 0u) << "no committed items were replayed";
   ASSERT_EQ(resumed_grids.size(), centers.size());
   for (const auto& [id, base] : base_grids) {
     ASSERT_TRUE(resumed_grids.count(id)) << "field " << id << " missing";

@@ -69,11 +69,13 @@ TEST(FieldKernel, AllRegisteredKernelsRenderFiniteGrids) {
   const FieldSpec spec = fixture_spec();
   for (const auto& name : KernelRegistry::builtin().names()) {
     KernelStats stats;
-    const Grid2D grid = KernelRegistry::builtin().create(name)->render(
+    const FieldGrid grid = KernelRegistry::builtin().create(name)->render(
         cube, RenderRequest{spec}, nullptr, stats);
+    EXPECT_EQ(grid.kind(), FieldKind::kDensity) << name;
+    ASSERT_EQ(grid.channels(), 1u) << name;
     ASSERT_EQ(grid.nx(), spec.nx()) << name;
     double sum = 0.0;
-    for (const double v : grid.values()) {
+    for (const double v : grid.plane(0).values()) {
       ASSERT_TRUE(std::isfinite(v)) << name;
       sum += v;
     }
@@ -97,10 +99,15 @@ TEST(FieldKernel, MarchingAndWalkingAgreeOnEqualCells) {
   kopt.walking.monte_carlo_samples = 1;  // deterministic cell centers
 
   KernelStats ms, ws;
-  const Grid2D march = KernelRegistry::builtin().create("march", kopt)->render(
-      cube, RenderRequest{spec}, nullptr, ms);
-  const Grid2D walk = KernelRegistry::builtin().create("walk", kopt)->render(
-      cube, RenderRequest{spec}, nullptr, ws);
+  const Grid2D march =
+      KernelRegistry::builtin()
+          .create("march", kopt)
+          ->render(cube, RenderRequest{spec}, nullptr, ms)
+          .plane(0);
+  const Grid2D walk = KernelRegistry::builtin()
+                          .create("walk", kopt)
+                          ->render(cube, RenderRequest{spec}, nullptr, ws)
+                          .plane(0);
 
   ASSERT_EQ(march.size(), walk.size());
   for (std::size_t i = 0; i < march.size(); ++i) {
@@ -108,6 +115,83 @@ TEST(FieldKernel, MarchingAndWalkingAgreeOnEqualCells) {
     const double scale = std::max({std::abs(a), std::abs(b), 1e-12});
     EXPECT_LE(std::abs(a - b) / scale, 1e-6) << "cell " << i;
   }
+}
+
+bool planes_bitwise_equal(const FieldGrid& a, const FieldGrid& b) {
+  if (a.kind() != b.kind() || a.channels() != b.channels()) return false;
+  for (std::size_t c = 0; c < a.channels(); ++c) {
+    const auto& av = a.plane(c).values();
+    const auto& bv = b.plane(c).values();
+    if (av.size() != bv.size()) return false;
+    for (std::size_t i = 0; i < av.size(); ++i)
+      if (av[i] != bv[i]) return false;
+  }
+  return true;
+}
+
+// Every vector channel renders the declared number of planes, all finite,
+// on both line-integrating kernels. The velocity planes must stay inside
+// the analytic model's vertex-velocity envelope (each LOS-mean cell is a
+// volume-weighted average of the linear interpolant).
+TEST(FieldKernel, VectorChannelsRenderFiniteMultiChannelGrids) {
+  const ParticleSet& set = fixture_set();
+  const FieldCube cube(set.positions, set.particle_mass);
+  const FieldSpec spec = fixture_spec(16);
+  for (const char* kernel : {"march", "walk"}) {
+    for (const FieldKind kind :
+         {FieldKind::kVelocity, FieldKind::kVdiv, FieldKind::kGrad}) {
+      RenderRequest request{spec};
+      request.field = kind;
+      request.model_seed = 42;
+      KernelStats stats;
+      const FieldGrid grid =
+          KernelRegistry::builtin().create(kernel)->render(cube, request,
+                                                           nullptr, stats);
+      EXPECT_EQ(grid.kind(), kind) << kernel;
+      ASSERT_EQ(grid.channels(), field_channels(kind)) << kernel;
+      for (std::size_t c = 0; c < grid.channels(); ++c)
+        for (const double v : grid.plane(c).values())
+          ASSERT_TRUE(std::isfinite(v))
+              << kernel << " " << field_kind_name(kind) << " channel " << c;
+    }
+  }
+}
+
+TEST(FieldKernel, TessRendersDensityOnly) {
+  const ParticleSet& set = fixture_set();
+  const FieldCube cube(set.positions, set.particle_mass);
+  RenderRequest request{fixture_spec(16)};
+  request.field = FieldKind::kVelocity;
+  KernelStats stats;
+  EXPECT_THROW(KernelRegistry::builtin().create("tess")->render(
+                   cube, request, nullptr, stats),
+               Error);
+}
+
+// Ensemble smoothing is a pure function of (item seed, N): repeated renders
+// are bitwise identical, N=1 short-circuits to the exact single render, and
+// N>1 genuinely changes the grid (the jitter is real).
+TEST(FieldKernel, EnsembleSmoothingIsDeterministic) {
+  const ParticleSet& set = fixture_set();
+  const FieldCube cube(set.positions, set.particle_mass);
+  RenderRequest request{fixture_spec(16)};
+  request.seed = 99;
+
+  const auto kernel = KernelRegistry::builtin().create("march");
+  KernelStats s1, s2;
+  const FieldGrid single = kernel->render(cube, request, nullptr, s1);
+  const FieldGrid single_again = kernel->render(cube, request, nullptr, s2);
+  EXPECT_TRUE(planes_bitwise_equal(single, single_again));
+
+  request.smooth_ensemble = 3;
+  KernelStats e1, e2;
+  const FieldGrid smoothed = kernel->render(cube, request, nullptr, e1);
+  const FieldGrid smoothed_again = kernel->render(cube, request, nullptr, e2);
+  EXPECT_TRUE(planes_bitwise_equal(smoothed, smoothed_again));
+  EXPECT_FALSE(planes_bitwise_equal(smoothed, single));
+  // The averaged ray mass stays consistent with the averaged grid — the
+  // audit identity the pipeline checks for every committed item.
+  EXPECT_NEAR(e1.ray_mass, smoothed.sum(), 1e-9 * std::abs(e1.ray_mass));
 }
 
 std::vector<Vec3> fixture_centers() {
@@ -154,7 +238,7 @@ TEST(Stages, StageByStageMatchesRunPipeline) {
     RecoverStage{}.run(ctx);
     ReduceStage{}.run(ctx);
     for (std::size_t k = 0; k < ctx.res.items.size(); ++k) {
-      const auto v = ctx.res.grids[k].values();
+      const auto v = ctx.res.grids[k].plane(0).values();
       staged[ctx.res.items[k].request_index].assign(v.begin(), v.end());
     }
   });
@@ -163,7 +247,7 @@ TEST(Stages, StageByStageMatchesRunPipeline) {
   simmpi::run(1, [&](simmpi::Comm& comm) {
     const PipelineResult res = run_pipeline(comm, set, centers, opt);
     for (std::size_t k = 0; k < res.items.size(); ++k) {
-      const auto v = res.grids[k].values();
+      const auto v = res.grids[k].plane(0).values();
       direct[res.items[k].request_index].assign(v.begin(), v.end());
     }
   });
@@ -194,7 +278,8 @@ TEST(Engine, RunBatchCompletesEveryRequest) {
     EXPECT_FALSE(results[i].failed);
     EXPECT_GT(results[i].checksum, 0.0);
     double sum = 0.0;
-    for (const double v : results[i].grid.values()) sum += v;
+    for (std::size_t c = 0; c < results[i].grid.channels(); ++c)
+      for (const double v : results[i].grid.plane(c).values()) sum += v;
     EXPECT_EQ(sum, results[i].checksum);
   }
   EXPECT_EQ(engine.last_rank_runs().size(), 4u);
@@ -224,9 +309,9 @@ TEST(Engine, RunBatchIsReentrantAndBitwiseDeterministic) {
     ASSERT_TRUE(first[i].completed);
     ASSERT_TRUE(second[i].completed);
     ASSERT_TRUE(third[i].completed);
-    const auto& a = first[i].grid.values();
-    const auto& b = second[i].grid.values();
-    const auto& c = third[i].grid.values();
+    const auto& a = first[i].grid.plane(0).values();
+    const auto& b = second[i].grid.plane(0).values();
+    const auto& c = third[i].grid.plane(0).values();
     ASSERT_EQ(a.size(), b.size());
     ASSERT_EQ(a.size(), c.size());
     for (std::size_t k = 0; k < a.size(); ++k) {
@@ -310,6 +395,65 @@ TEST(EngineConfig, FromCliParsesAndValidates) {
     const CliArgs args(static_cast<int>(std::size(argv)),
                        const_cast<char**>(argv));
     EXPECT_THROW(EngineConfig::from_cli(args), Error);
+  }
+  {
+    const char* argv[] = {"pdtfe", "pipeline", "--field", "velocity",
+                          "--smooth-ensemble", "4"};
+    const CliArgs args(static_cast<int>(std::size(argv)),
+                       const_cast<char**>(argv));
+    const EngineConfig cfg = EngineConfig::from_cli(args);
+    EXPECT_EQ(cfg.pipeline.field, FieldKind::kVelocity);
+    EXPECT_EQ(cfg.pipeline.smooth_ensemble, 4);
+  }
+  {
+    const char* argv[] = {"pdtfe", "pipeline", "--field", "bogus"};
+    const CliArgs args(static_cast<int>(std::size(argv)),
+                       const_cast<char**>(argv));
+    EXPECT_THROW(EngineConfig::from_cli(args), Error);
+  }
+  {
+    const char* argv[] = {"pdtfe", "pipeline", "--smooth-ensemble", "0"};
+    const CliArgs args(static_cast<int>(std::size(argv)),
+                       const_cast<char**>(argv));
+    EXPECT_THROW(EngineConfig::from_cli(args), Error);
+  }
+  {
+    // tess is density-only: reject the combination up front rather than
+    // failing every item of the run.
+    const char* argv[] = {"pdtfe", "pipeline", "--kernel", "tess",
+                          "--field", "velocity"};
+    const CliArgs args(static_cast<int>(std::size(argv)),
+                       const_cast<char**>(argv));
+    EXPECT_THROW(EngineConfig::from_cli(args), Error);
+  }
+}
+
+// A non-density batch flows the multi-channel grids through the full staged
+// pipeline: every result carries field_channels(kind) planes and the item
+// checksum equals the sum over all of them.
+TEST(Engine, RunBatchCarriesVelocityChannels) {
+  EngineConfig cfg;
+  cfg.ranks = 2;
+  cfg.pipeline = fixture_pipeline_options();
+  cfg.pipeline.field = FieldKind::kVelocity;
+  Engine engine(cfg, fixture_set());
+
+  std::vector<FieldRequest> requests;
+  for (const Vec3& c : fixture_centers()) requests.push_back({c});
+  const auto results = engine.run_batch(requests);
+
+  ASSERT_EQ(results.size(), requests.size());
+  for (const FieldResult& res : results) {
+    ASSERT_TRUE(res.completed);
+    EXPECT_FALSE(res.failed);
+    EXPECT_EQ(res.grid.kind(), FieldKind::kVelocity);
+    ASSERT_EQ(res.grid.channels(), 3u);
+    for (std::size_t c = 0; c < res.grid.channels(); ++c)
+      for (const double v : res.grid.plane(c).values())
+        ASSERT_TRUE(std::isfinite(v));
+    // The item checksum is the plane-sum total, the same reduction the
+    // thread-vs-socket parity check compares per channel.
+    EXPECT_EQ(res.checksum, res.grid.sum());
   }
 }
 

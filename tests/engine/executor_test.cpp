@@ -50,6 +50,13 @@ bool bitwise_equal(const Grid2D& a, const Grid2D& b) {
                      a.size() * sizeof(double)) == 0;
 }
 
+bool bitwise_equal(const FieldGrid& a, const FieldGrid& b) {
+  if (a.kind() != b.kind() || a.channels() != b.channels()) return false;
+  for (std::size_t c = 0; c < a.channels(); ++c)
+    if (!bitwise_equal(a.plane(c), b.plane(c))) return false;
+  return true;
+}
+
 // ---- thread-budget planning -------------------------------------------------
 
 TEST(ThreadBudget, SerialWindowKeepsTheWholeBudgetForTheKernelTeam) {
@@ -115,12 +122,12 @@ PipelineOptions fixture_options() {
 
 /// Run the pipeline on `ranks` simulated ranks and collect every completed
 /// grid by global request index.
-std::map<std::ptrdiff_t, Grid2D> run_grids(const ParticleSet& set,
+std::map<std::ptrdiff_t, FieldGrid> run_grids(const ParticleSet& set,
                                            const std::vector<Vec3>& centers,
                                            const PipelineOptions& opt,
                                            int ranks) {
   std::mutex mtx;
-  std::map<std::ptrdiff_t, Grid2D> grids;
+  std::map<std::ptrdiff_t, FieldGrid> grids;
   simmpi::run(ranks, [&](simmpi::Comm& c) {
     const PipelineResult res = run_pipeline(c, set, centers, opt);
     const std::lock_guard<std::mutex> lock(mtx);
@@ -177,7 +184,12 @@ std::map<std::string, std::string> journal_bytes(const std::string& dir) {
 }
 
 // Commit order IS journal append order; the overlapped run must write the
-// exact same journal bytes as the serial run, rank by rank.
+// exact same journal bytes as the serial run, rank by rank. Work sharing is
+// off here: the load-balance schedule comes from a MEASURED timing fit, so
+// under CPU contention two runs can legitimately assign items to different
+// ranks — which redistributes records across journals without changing
+// their content. A fixed block partition makes byte identity a true
+// invariant of the overlap commit path, which is what this test pins.
 TEST(OverlapDeterminism, CheckpointJournalsByteIdenticalUnderOverlap) {
   const ParticleSet& set = fixture_set();
   const std::vector<Vec3> centers = fixture_centers();
@@ -186,6 +198,7 @@ TEST(OverlapDeterminism, CheckpointJournalsByteIdenticalUnderOverlap) {
   const ScratchDir overlap_dir("pdtfe_exec_ckpt_overlap");
 
   PipelineOptions opt = fixture_options();
+  opt.load_balance = false;
   opt.checkpoint_dir = serial_dir.path();
   opt.compute_ahead = 0;
   (void)run_grids(set, centers, opt, 2);
@@ -290,7 +303,7 @@ TEST(OverlapFaults, ReceiverKillRecoversBitwiseIdenticalToSerial) {
 
   // Undisturbed serial baseline; also discover a receiver to kill.
   std::mutex mtx;
-  std::map<std::ptrdiff_t, Grid2D> baseline;
+  std::map<std::ptrdiff_t, FieldGrid> baseline;
   std::map<int, int> receiver_to_sender;
   simmpi::run(4, [&](simmpi::Comm& c) {
     const PipelineResult res = run_pipeline(c, set, centers, serial_opt);
@@ -315,7 +328,7 @@ TEST(OverlapFaults, ReceiverKillRecoversBitwiseIdenticalToSerial) {
       "kill:rank=" + std::to_string(receiver) + ",tag=200,at=1");
   simmpi::RunOptions run_opts;
   run_opts.fault_plan = &plan;
-  std::map<std::ptrdiff_t, Grid2D> recovered;
+  std::map<std::ptrdiff_t, FieldGrid> recovered;
   std::size_t items_recovered = 0;
   std::set<int> dead;
   simmpi::run(4, run_opts, [&](simmpi::Comm& c) {

@@ -87,11 +87,12 @@ PipelineOptions item_options() {
 void expect_contained(const std::vector<Vec3>& pts, const Vec3& center) {
   const PipelineOptions opt = item_options();
   ItemRecord rec;
-  const Grid2D g = compute_field_item(pts, 1.0, center, opt, rec);
+  const FieldGrid g = compute_field_item(pts, 1.0, center, opt, rec);
   EXPECT_TRUE(rec.failed);
   EXPECT_FALSE(rec.fail_reason.empty());
-  ASSERT_EQ(g.values().size(), opt.field_resolution * opt.field_resolution);
-  for (const double v : g.values()) EXPECT_EQ(v, 0.0);
+  ASSERT_EQ(g.plane(0).values().size(),
+            opt.field_resolution * opt.field_resolution);
+  for (const double v : g.plane(0).values()) EXPECT_EQ(v, 0.0);
 }
 
 TEST(ItemContainment, CoplanarPointsYieldContainedZeroItem) {
@@ -126,20 +127,20 @@ TEST(ItemContainment, NonFinitePositionIsContainedWithReason) {
   pts[17].y = std::numeric_limits<double>::quiet_NaN();
   const PipelineOptions opt = item_options();
   ItemRecord rec;
-  const Grid2D g = compute_field_item(pts, 1.0, {0.5, 0.5, 0.5}, opt, rec);
+  const FieldGrid g = compute_field_item(pts, 1.0, {0.5, 0.5, 0.5}, opt, rec);
   EXPECT_TRUE(rec.failed);
   EXPECT_NE(rec.fail_reason.find("non-finite"), std::string::npos)
       << rec.fail_reason;
-  for (const double v : g.values()) EXPECT_EQ(v, 0.0);
+  for (const double v : g.plane(0).values()) EXPECT_EQ(v, 0.0);
 }
 
 TEST(ItemContainment, SparseCubeIsAnExpectedZeroNotAFailure) {
   const std::vector<Vec3> pts(5, Vec3{0.5, 0.5, 0.5});  // < min_particles
   const PipelineOptions opt = item_options();
   ItemRecord rec;
-  const Grid2D g = compute_field_item(pts, 1.0, {0.5, 0.5, 0.5}, opt, rec);
+  const FieldGrid g = compute_field_item(pts, 1.0, {0.5, 0.5, 0.5}, opt, rec);
   EXPECT_FALSE(rec.failed);
-  for (const double v : g.values()) EXPECT_EQ(v, 0.0);
+  for (const double v : g.plane(0).values()) EXPECT_EQ(v, 0.0);
 }
 
 // ---- degenerate workload-model fits ------------------------------------------

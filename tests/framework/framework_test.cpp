@@ -314,8 +314,8 @@ TEST(Pipeline, EndToEndMultiRank) {
         c.allreduce_sum(static_cast<double>(res.owned_particles));
     EXPECT_DOUBLE_EQ(owned, 30000.0);
     // Rendered grids hold finite, non-negative surface densities.
-    for (const Grid2D& g : res.grids)
-      for (const double v : g.values()) {
+    for (const FieldGrid& g : res.grids)
+      for (const double v : g.plane(0).values()) {
         EXPECT_TRUE(std::isfinite(v));
         EXPECT_GE(v, -1e-9);
       }

@@ -228,6 +228,8 @@ TEST(ResultCodec, LaunchConfigRoundTrips) {
   cfg.pipeline.max_retries = 5;
   cfg.pipeline.keep_grids = true;
   cfg.pipeline.checkpoint_dir = "/tmp/ckpt";
+  cfg.pipeline.field = FieldKind::kVelocity;
+  cfg.pipeline.smooth_ensemble = 4;
   cfg.field_centers = {{1.0, 2.0, 3.0}, {4.5, 5.5, 6.5}};
 
   const LaunchConfig back = decode_launch_config(encode_launch_config(cfg));
@@ -238,6 +240,8 @@ TEST(ResultCodec, LaunchConfigRoundTrips) {
   EXPECT_EQ(back.pipeline.max_retries, 5);
   EXPECT_TRUE(back.pipeline.keep_grids);
   EXPECT_EQ(back.pipeline.checkpoint_dir, "/tmp/ckpt");
+  EXPECT_EQ(back.pipeline.field, FieldKind::kVelocity);
+  EXPECT_EQ(back.pipeline.smooth_ensemble, 4);
   ASSERT_EQ(back.field_centers.size(), 2u);
   EXPECT_DOUBLE_EQ(back.field_centers[1].x, 4.5);
   EXPECT_DOUBLE_EQ(back.field_centers[1].z, 6.5);
@@ -251,6 +255,12 @@ TEST(ResultCodec, WorkerPayloadRoundTrips) {
   p.counters = {{"dtfe.pipeline.items_computed", 12.0},
                 {"dtfe.simmpi.messages", 40.0}};
   p.gauges = {{"dtfe.executor.queue_peak", 2.0}};
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 10.0, 100.0};
+  h.counts = {2.0, 5.0, 1.0, 0.0};  // 3 bounds -> 4 buckets
+  h.sum = 57.5;
+  h.count = 8.0;
+  p.histograms = {{"dtfe.pipeline.item_ms", h}};
 
   ItemRecord item;
   item.request_index = 7;
@@ -259,7 +269,13 @@ TEST(ResultCodec, WorkerPayloadRoundTrips) {
   p.result.items.push_back(item);
   Grid2D grid(4, 4);
   grid.at(1, 2) = 9.0;
-  p.result.grids.push_back(grid);
+  p.result.grids.push_back(FieldGrid(grid));
+  Grid2D vx(3, 3), vy(3, 3), vz(3, 3);
+  vx.at(0, 1) = -1.5;
+  vy.at(2, 2) = 4.25;
+  vz.at(1, 0) = 1e-300;
+  p.result.grids.push_back(
+      FieldGrid(FieldKind::kVelocity, {vx, vy, vz}));
   p.result.local_items = 1;
   p.result.failed_ranks = {1};
   p.result.phases.render = 0.25;
@@ -273,8 +289,19 @@ TEST(ResultCodec, WorkerPayloadRoundTrips) {
   ASSERT_EQ(back.result.items.size(), 1u);
   EXPECT_EQ(back.result.items[0].request_index, 7);
   EXPECT_DOUBLE_EQ(back.result.items[0].grid_sum, 123.456);
-  ASSERT_EQ(back.result.grids.size(), 1u);
-  EXPECT_DOUBLE_EQ(back.result.grids[0].at(1, 2), 9.0);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const obs::HistogramSnapshot& hb = back.histograms.at("dtfe.pipeline.item_ms");
+  EXPECT_EQ(hb.bounds, h.bounds);
+  EXPECT_EQ(hb.counts, h.counts);
+  EXPECT_DOUBLE_EQ(hb.sum, 57.5);
+  EXPECT_DOUBLE_EQ(hb.count, 8.0);
+  ASSERT_EQ(back.result.grids.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.result.grids[0].plane(0).at(1, 2), 9.0);
+  EXPECT_EQ(back.result.grids[1].kind(), FieldKind::kVelocity);
+  ASSERT_EQ(back.result.grids[1].channels(), 3u);
+  EXPECT_DOUBLE_EQ(back.result.grids[1].plane(0).at(0, 1), -1.5);
+  EXPECT_DOUBLE_EQ(back.result.grids[1].plane(1).at(2, 2), 4.25);
+  EXPECT_EQ(back.result.grids[1].plane(2).at(1, 0), 1e-300);
   ASSERT_EQ(back.result.failed_ranks.size(), 1u);
   EXPECT_EQ(back.result.failed_ranks[0], 1);
   EXPECT_DOUBLE_EQ(back.result.phases.render, 0.25);
