@@ -52,9 +52,9 @@ echo "== micro_delaunay (insert-scratch A/B)"
     --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
     > "$TMP/delaunay.json" 2>/dev/null
 
-echo "== micro_kernels (render throughput)"
+echo "== micro_kernels (render throughput + crossing-test A/B)"
 "$BUILD/bench/micro_kernels" \
-    --benchmark_filter='BM_MarchingRender|BM_WalkingRender' \
+    --benchmark_filter='BM_MarchingRender|BM_WalkingRender|BM_VerticalCrossing' \
     --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
     > "$TMP/kernels.json" 2>/dev/null
 
@@ -82,13 +82,36 @@ dl = {b["name"]: b for b in load("delaunay.json")["benchmarks"]}
 reuse = dl["BM_DelaunayInsertScratch/20000/1"]
 noreuse = dl["BM_DelaunayInsertScratch/20000/0"]
 
+kjson = load("kernels.json")
+# The custom micro_kernels main records the compiled SIMD ISA in the
+# benchmark context ("sse2" / "neon" / "scalar").
+simd_isa = kjson.get("context", {}).get("simd_isa", "unknown")
+
 kernels = {}
-for b in load("kernels.json")["benchmarks"]:
-    kernels[b["name"]] = {
+crossing = {}
+for b in kjson["benchmarks"]:
+    row = {
         "real_time_ms": round(b["real_time"], 3)
         if b["time_unit"] == "ms" else round(b["real_time"] / 1e6, 3),
         "items_per_second": b.get("items_per_second"),
     }
+    if b["name"].startswith("BM_VerticalCrossing"):
+        crossing[b["name"]] = b["items_per_second"]
+    else:
+        kernels[b["name"]] = row
+
+# Crossing-test A/B: the SoA+SIMD route vs the pre-table AoS scalar test
+# (both classify identical crossings; see bench/micro_kernels.cpp). The
+# committed speedup is the tentpole's acceptance number.
+aos = crossing["BM_VerticalCrossingAos"]
+simd_vs_scalar = {
+    "crossings_per_sec_aos_scalar": round(aos),
+    "crossings_per_sec_coef_scalar": round(crossing["BM_VerticalCrossingCoef"]),
+    "crossings_per_sec_simd": round(crossing["BM_VerticalCrossingSimd"]),
+    "crossings_per_sec_batch": round(crossing["BM_VerticalCrossingBatch"]),
+    "speedup_coef_vs_aos": round(crossing["BM_VerticalCrossingCoef"] / aos, 3),
+    "speedup_simd_vs_aos": round(crossing["BM_VerticalCrossingSimd"] / aos, 3),
+}
 
 serial = load("serial.json")["summary"]
 overlap = load("overlap.json")["summary"]
@@ -99,10 +122,17 @@ checksums_equal = serial["grid_checksum_total"] == overlap["grid_checksum_total"
 if not checksums_equal:
     print("FATAL: overlapped checksum differs from serial", file=sys.stderr)
 
+cores = os.cpu_count()
+# On a single core the overlapped pipeline cannot beat serial (overlap buys
+# nothing and pays coordination); tag the report so consumers don't read the
+# ~1.0x (or slightly below) speedup as a regression.
+overlap_expected_win = cores is not None and cores > 1
+
 doc = {
     "schema": "pdtfe-bench-v1",
     "mode": mode,
-    "host": {"cores": os.cpu_count(), "platform": os.uname().sysname},
+    "host": {"cores": cores, "platform": os.uname().sysname,
+             "simd_isa": simd_isa},
     "micro_delaunay": {
         "inserts_per_sec_reuse": round(reuse["items_per_second"]),
         "inserts_per_sec_noreuse": round(noreuse["items_per_second"]),
@@ -110,6 +140,7 @@ doc = {
         "allocs_per_insert_noreuse": round(noreuse["allocs_per_insert"], 6),
     },
     "micro_kernels": kernels,
+    "simd_vs_scalar": simd_vs_scalar,
     "pipeline": {
         "particles": n,
         "fields": fields,
@@ -119,6 +150,7 @@ doc = {
         "serial_wall_s": round(serial["wall_s"], 4),
         "overlap_wall_s": round(overlap["wall_s"], 4),
         "speedup": round(serial["wall_s"] / overlap["wall_s"], 3),
+        "overlap_expected_win": overlap_expected_win,
         "checksum_serial": serial["grid_checksum_total"],
         "checksum_overlap": overlap["grid_checksum_total"],
         "checksums_equal": checksums_equal,

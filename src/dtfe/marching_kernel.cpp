@@ -23,6 +23,7 @@ struct MarchMetrics {
   obs::MetricId restarts = obs::counter("dtfe.kernel.perturb_restarts");
   obs::MetricId failed = obs::counter("dtfe.kernel.failed_cells");
   obs::MetricId empty = obs::counter("dtfe.kernel.empty_cells");
+  obs::MetricId batch_lanes = obs::counter("dtfe.kernel.simd_batch_lanes");
   obs::MetricId crossings_per_ray = obs::histogram(
       "dtfe.kernel.crossings_per_ray",
       {0, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
@@ -65,42 +66,160 @@ std::uint64_t ray_seed(std::uint64_t seed, std::uint64_t ray_index) {
 }  // namespace
 
 MarchingKernel::MarchingKernel(const DensityField& density,
-                               const HullProjection& hull, MarchingOptions opt)
+                               const HullProjection& hull, MarchingOptions opt,
+                               std::shared_ptr<const TetraGeomTable> geom)
     : density_(&density), hull_(&hull), opt_(opt) {
   DTFE_CHECK(opt_.monte_carlo_samples >= 1);
   DTFE_CHECK(opt_.max_perturb_retries >= 1);
+  // The coefficient tables back the vertical (Plücker-specialized) fast
+  // path only; the Möller/general-Plücker ablation oracles march the AoS
+  // geometry directly and need no tables.
+  if (!opt_.use_moller_trumbore && !opt_.use_general_plucker) {
+    geom_ = geom != nullptr ? std::move(geom)
+                            : std::make_shared<const TetraGeomTable>(
+                                  density.triangulation());
+    field_ = std::make_shared<const FieldCoefTable>(density);
+    simd_on_ = simd_enabled(opt_.use_simd);
+  }
 }
 
-MarchingKernel::LineResult MarchingKernel::march_line(
-    Vec2 xi, double zmin, double zmax, std::uint64_t& rng) const {
+MarchingKernel::MarchingKernel(const MarchingKernel& base,
+                               const MarchingOptions& opt)
+    : density_(base.density_),
+      hull_(base.hull_),
+      opt_(opt),
+      geom_(base.geom_),
+      field_(base.field_),
+      simd_on_(base.simd_on_) {}
+
+void MarchingKernel::edge_products(const VerticalTetraCoef& t, const Vec2& xi,
+                                   double s[6]) const {
+  // Both routes evaluate (c + bx·x) + by·y per edge in identical order, so
+  // the choice is invisible in the results — only in the throughput.
+  if (simd_on_) coef_edge_products_simd(t, xi, s);
+  else coef_edge_products(t, xi, s);
+}
+
+void MarchingKernel::add_interval(CellId c, const Vec2& xi, double a, double b,
+                                  double zmin, double zmax, double dz,
+                                  double& sigma) const {
+  a = std::max(a, zmin);
+  b = std::min(b, zmax);
+  if (b <= a) return;
+  const int nz = opt_.z_samples;
+  if (nz <= 0) {
+    // Exact per-tetra integral at the interval midpoint (Eq. 12).
+    sigma += field_->value(c, xi.x, xi.y, 0.5 * (a + b)) * (b - a);
+    return;
+  }
+  // Fixed z-planes within [a, b): the interpolant restricted to the column
+  // is base + g_z·z, one multiply-add per sample.
+  const double base = field_->column_base(c, xi.x, xi.y);
+  const double gz = field_->gz(c);
+  auto k = static_cast<std::ptrdiff_t>(std::ceil((a - zmin) / dz - 0.5));
+  if (k < 0) k = 0;
+  for (; k < nz; ++k) {
+    const double z = zmin + (static_cast<double>(k) + 0.5) * dz;
+    if (z >= b) break;
+    sigma += (base + gz * z) * dz;
+  }
+}
+
+MarchingKernel::Attempt MarchingKernel::march_once_fast(const Vec2& xi,
+                                                        double zmin,
+                                                        double zmax) const {
   const Triangulation& tri = density_->triangulation();
-  LineResult out;
+  const TetraGeomTable& geom = *geom_;
+  Attempt out;
 
-  // The perturbation scale is relative to the silhouette extent when no grid
-  // context is available; render() passes grid-cell-relative epsilons by
-  // pre-scaling opt_.perturb_epsilon.
-  const double eps =
-      opt_.perturb_epsilon *
-      std::max(hull_->hi().x - hull_->lo().x, hull_->hi().y - hull_->lo().y);
+  const auto entry = hull_->first_entry(xi);
+  CellId c = entry.cell;
+  if (c == Triangulation::kNoCell) {
+    out.empty = true;
+    return out;
+  }
 
-  // Fixed-plane sampling mode (Eq. 4 semantics; see MarchingOptions).
   const int nz = opt_.z_samples;
   const double dz = nz > 0 ? (zmax - zmin) / nz : 0.0;
+  // A vertical line through a convex hull crosses O(N^{1/3}) cells on
+  // average; the cap is a defensive bound against adjacency cycles.
+  const std::uint64_t max_steps = 16 * tri.num_cells() + 64;
 
-  // Accumulate one tetra's contribution over the clamped interval [a, b).
-  auto accumulate = [&](CellId c, double a, double b, double& sigma) {
+  // Hot loop: each tetra costs six coefficient-table edge products plus one
+  // face classification. The first cell's span test already classifies both
+  // faces, so its exit needs no second pass.
+  double s[6];
+  edge_products(geom.coef(c), xi, s);
+  const VerticalSpan first = coef_vertical_span(geom.coef(c), s);
+  if (!first.intersects || first.degenerate) {
+    out.degenerate = true;
+    out.degen_cell = c;
+    return out;
+  }
+  double z_prev = first.z_enter;
+  int entry_face = first.enter_face;
+  VerticalExit ve;
+  ve.found = true;
+  ve.exit_face = first.exit_face;
+  ve.z_exit = first.z_exit;
+  bool have_exit = true;
+  for (;;) {
+    if (++out.steps > max_steps) {
+      out.degenerate = true;
+      out.degen_cell = c;
+      return out;
+    }
+    if (!have_exit) {
+      edge_products(geom.coef(c), xi, s);
+      ve = coef_vertical_exit(geom.coef(c), s, entry_face);
+      if (!ve.found || ve.degenerate) {
+        out.degenerate = true;
+        out.degen_cell = c;
+        return out;
+      }
+    }
+    have_exit = false;
+    add_interval(c, xi, z_prev, ve.z_exit, zmin, zmax, dz, out.sigma);
+    if (ve.z_exit >= zmax) break;
+    const CellId next = geom.next(c, ve.exit_face);
+    if (next == Triangulation::kNoCell) break;
+    entry_face = geom.mirror(c, ve.exit_face);
+    z_prev = ve.z_exit;
+    c = next;
+  }
+  return out;
+}
+
+MarchingKernel::Attempt MarchingKernel::march_once_slow(const Vec2& xi,
+                                                        double zmin,
+                                                        double zmax) const {
+  const Triangulation& tri = density_->triangulation();
+  Attempt out;
+
+  const auto entry = hull_->first_entry(xi);
+  const CellId start = entry.cell;
+  if (start == Triangulation::kNoCell) {
+    out.empty = true;
+    return out;
+  }
+
+  const Vec3 origin{xi.x, xi.y, 0.0};
+  const Vec3 dir{0.0, 0.0, 1.0};
+  const int nz = opt_.z_samples;
+  const double dz = nz > 0 ? (zmax - zmin) / nz : 0.0;
+  const std::uint64_t max_steps = 16 * tri.num_cells() + 64;
+
+  // Oracle semantics: direct AoS geometry and the (p − x0) interpolant form
+  // — kept byte-for-byte as the pre-table reference the audits compare to.
+  auto accumulate = [&](CellId c, double a, double b) {
     a = std::max(a, zmin);
     b = std::min(b, zmax);
     if (b <= a) return;
     if (nz <= 0) {
-      // Exact per-tetra integral at the interval midpoint (Eq. 12).
       const Vec3 mid{xi.x, xi.y, 0.5 * (a + b)};
-      sigma += density_->interpolate_in_cell(c, mid) * (b - a);
+      out.sigma += density_->interpolate_in_cell(c, mid) * (b - a);
       return;
     }
-    // Fixed z-planes within [a, b): the interpolant restricted to the
-    // column is base + g_z·z, one multiply-add per sample.
-    const Triangulation& tri = density_->triangulation();
     const auto& t = tri.cell(c);
     const Vec3& x0 = tri.point(t.v[0]);
     const Vec3& g = density_->cell_gradient(c);
@@ -112,109 +231,76 @@ MarchingKernel::LineResult MarchingKernel::march_line(
     for (; k < nz; ++k) {
       const double z = zmin + (static_cast<double>(k) + 0.5) * dz;
       if (z >= b) break;
-      sigma += (base + g.z * z) * dz;
+      out.sigma += (base + g.z * z) * dz;
     }
   };
 
-  const bool fast_path = !opt_.use_moller_trumbore && !opt_.use_general_plucker;
-
-  for (int attempt = 0;; ++attempt) {
-    // A perturbation storm is the classic runaway; bail out of the retry
-    // loop early once the item deadline fires (render() reports the
-    // cancellation, this ray just stops burning time).
-    if (attempt > 0 && opt_.deadline && opt_.deadline->expired()) {
-      out.failed = true;
+  const PluckerLine line = PluckerLine::from_point_dir(origin, dir);
+  CellId c = start;
+  while (c != Triangulation::kNoCell && !tri.is_infinite(c)) {
+    const auto pts = tri.cell_points(c);
+    const LineTetraHit hit = opt_.use_moller_trumbore
+                                 ? line_tetra_moller(origin, dir, pts)
+                                 : line_tetra_plucker(line, origin, dir, pts);
+    if (hit.degenerate || !hit.intersects || ++out.steps > max_steps) {
+      out.degenerate = true;
+      out.degen_cell = c;
       return out;
     }
-    const auto entry = hull_->first_entry(xi);
-    const CellId start = entry.cell;
-    if (start == Triangulation::kNoCell) {
+    accumulate(c, hit.t_enter, hit.t_exit);
+    if (hit.t_enter > zmax) break;
+    c = tri.cell(c).n[hit.exit_face];
+  }
+  return out;
+}
+
+MarchingKernel::LineResult MarchingKernel::finish_line(
+    Vec2 xi, double zmin, double zmax, std::uint64_t& rng,
+    const Attempt& first) const {
+  const Triangulation& tri = density_->triangulation();
+  const bool fast = geom_ != nullptr;
+
+  // The perturbation scale is relative to the silhouette extent when no grid
+  // context is available; render() passes grid-cell-relative epsilons by
+  // pre-scaling opt_.perturb_epsilon.
+  const double eps =
+      opt_.perturb_epsilon *
+      std::max(hull_->hi().x - hull_->lo().x, hull_->hi().y - hull_->lo().y);
+
+  LineResult out;
+  Attempt a = first;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      // A perturbation storm is the classic runaway; bail out of the retry
+      // loop early once the item deadline fires (render() reports the
+      // cancellation, this ray just stops burning time).
+      if (opt_.deadline && opt_.deadline->expired()) {
+        out.failed = true;
+        return out;
+      }
+      a = fast ? march_once_fast(xi, zmin, zmax)
+               : march_once_slow(xi, zmin, zmax);
+    }
+    if (a.empty) {
       out.empty = true;
       return out;
     }
-
-    const Vec3 origin{xi.x, xi.y, 0.0};
-    const Vec3 dir{0.0, 0.0, 1.0};
-
-    double sigma = 0.0;
-    std::uint64_t steps = 0;
-    bool degenerate = false;
-    CellId degen_cell = start;
-    // A vertical line through a convex hull crosses O(N^{1/3}) cells on
-    // average; the cap is a defensive bound against adjacency cycles.
-    const std::uint64_t max_steps = 16 * tri.num_cells() + 64;
-
-    if (fast_path) {
-      // Hot loop: entry faces are known from the previous exit, so each
-      // tetra costs 6 two-dimensional edge products + one face exit.
-      CellId c = start;
-      const LineTetraHit first = line_tetra_vertical(xi, tri.cell_points(c));
-      if (!first.intersects || first.degenerate) {
-        degenerate = true;
-        degen_cell = c;
-      } else {
-        double z_prev = first.t_enter;
-        int entry_face = first.enter_face;
-        for (;;) {
-          if (++steps > max_steps) {
-            degenerate = true;
-            degen_cell = c;
-            break;
-          }
-          const VerticalExit ve =
-              line_tetra_vertical_exit(xi, tri.cell_points(c), entry_face);
-          if (!ve.found || ve.degenerate) {
-            degenerate = true;
-            degen_cell = c;
-            break;
-          }
-          accumulate(c, z_prev, ve.z_exit, sigma);
-          if (ve.z_exit >= zmax) break;
-          const CellId next = tri.cell(c).n[ve.exit_face];
-          if (tri.is_infinite(next)) break;
-          entry_face = tri.mirror_index(c, ve.exit_face);
-          z_prev = ve.z_exit;
-          c = next;
-        }
-      }
-      if (!degenerate) {
-        out.sigma = sigma;
-        out.steps += steps;
-        return out;
-      }
-    } else {
-      const PluckerLine line = PluckerLine::from_point_dir(origin, dir);
-      CellId c = start;
-      while (c != Triangulation::kNoCell && !tri.is_infinite(c)) {
-        const auto pts = tri.cell_points(c);
-        const LineTetraHit hit = opt_.use_moller_trumbore
-                                     ? line_tetra_moller(origin, dir, pts)
-                                     : line_tetra_plucker(line, origin, dir, pts);
-        if (hit.degenerate || !hit.intersects || ++steps > max_steps) {
-          degenerate = true;
-          degen_cell = c;
-          break;
-        }
-        accumulate(c, hit.t_enter, hit.t_exit, sigma);
-        if (hit.t_enter > zmax) break;
-        c = tri.cell(c).n[hit.exit_face];
-      }
-      if (!degenerate) {
-        out.sigma = sigma;
-        out.steps += steps;
-        return out;
-      }
+    if (!a.degenerate) {
+      out.sigma = a.sigma;
+      out.steps += a.steps;
+      return out;
     }
 
     // Paper Fig. 2: perturb ℓ toward a random vertex of the offending
     // tetrahedron by ε and restart the march.
     {
-      const auto& t = tri.cell(degen_cell);
+      const auto& t = tri.cell(a.degen_cell);
       Vec2 delta{0.0, 0.0};
       for (int tries = 0; tries < 4 && delta.norm() < 1e-300; ++tries) {
         const int s = static_cast<int>(next_rand(rng) & 3);
-        if (t.v[s] == Triangulation::kInfinite) continue;
-        const Vec3& v = tri.point(t.v[s]);
+        if (t.v[static_cast<std::size_t>(s)] == Triangulation::kInfinite)
+          continue;
+        const Vec3& v = tri.point(t.v[static_cast<std::size_t>(s)]);
         delta = Vec2{v.x, v.y} - xi;
       }
       if (delta.norm() < 1e-300)
@@ -223,7 +309,7 @@ MarchingKernel::LineResult MarchingKernel::march_line(
       if (n > eps) delta = delta * (eps / n);
       xi = xi + delta;
     }
-    out.steps += steps;
+    out.steps += a.steps;
     ++out.restarts;
     if (attempt + 1 >= opt_.max_perturb_retries) {
       out.sigma = 0.0;  // the perturbed retries never finished cleanly
@@ -231,6 +317,147 @@ MarchingKernel::LineResult MarchingKernel::march_line(
       return out;
     }
   }
+}
+
+MarchingKernel::LineResult MarchingKernel::march_line(
+    Vec2 xi, double zmin, double zmax, std::uint64_t& rng) const {
+  const Attempt a = geom_ != nullptr ? march_once_fast(xi, zmin, zmax)
+                                     : march_once_slow(xi, zmin, zmax);
+  return finish_line(xi, zmin, zmax, rng, a);
+}
+
+void MarchingKernel::march_tile(const Vec2* xi, int n, double zmin,
+                                double zmax, std::uint64_t* rng,
+                                LineResult* out,
+                                std::uint64_t& batch_lanes) const {
+  const Triangulation& tri = density_->triangulation();
+  const TetraGeomTable& geom = *geom_;
+  const int nz = opt_.z_samples;
+  const double dz = nz > 0 ? (zmax - zmin) / nz : 0.0;
+  const std::uint64_t max_steps = 16 * tri.num_cells() + 64;
+
+  // Per-lane walk state, mirroring march_once_fast exactly: same product
+  // formula, same classification, same accumulation — a lane's Attempt is
+  // bitwise what the scalar path would have produced for its ξ.
+  Attempt att[simd::kLanes];
+  CellId cell[simd::kLanes] = {};
+  int eface[simd::kLanes] = {};
+  double zprev[simd::kLanes] = {};
+  VerticalExit pending[simd::kLanes];
+  bool have_exit[simd::kLanes] = {};
+  bool walking[simd::kLanes] = {};
+
+  int nwalk = 0;
+  for (int l = 0; l < n; ++l) {
+    const auto entry = hull_->first_entry(xi[l]);
+    const CellId c = entry.cell;
+    if (c == Triangulation::kNoCell) {
+      att[l].empty = true;
+      continue;
+    }
+    double s[6];
+    edge_products(geom.coef(c), xi[l], s);
+    const VerticalSpan first = coef_vertical_span(geom.coef(c), s);
+    if (!first.intersects || first.degenerate) {
+      att[l].degenerate = true;
+      att[l].degen_cell = c;
+      continue;
+    }
+    cell[l] = c;
+    eface[l] = first.enter_face;
+    zprev[l] = first.z_enter;
+    pending[l].found = true;
+    pending[l].degenerate = false;
+    pending[l].exit_face = first.exit_face;
+    pending[l].z_exit = first.z_exit;
+    have_exit[l] = true;
+    walking[l] = true;
+    ++nwalk;
+  }
+
+  // Lockstep walk: every round advances each active lane one tetra. Lanes
+  // whose walk fronts meet in the same cell evaluate their six edge
+  // products through one ray-parallel SIMD pass against that tetra's
+  // broadcast coefficients; the per-lane products are bitwise identical to
+  // the scalar evaluation, so the grouping is purely a throughput
+  // heuristic, never a results decision.
+  double s[simd::kLanes][6];
+  while (nwalk > 0) {
+    bool have_s[simd::kLanes] = {};
+    for (int l = 0; l < n; ++l) {
+      if (!walking[l] || have_exit[l] || have_s[l]) continue;
+      int group[simd::kLanes];
+      int g = 0;
+      for (int m = l; m < n; ++m)
+        if (walking[m] && !have_exit[m] && !have_s[m] && cell[m] == cell[l])
+          group[g++] = m;
+      if (g >= 2) {
+        double xs[simd::kLanes], ys[simd::kLanes];
+        double prod[6][simd::kLanes];
+        for (int k = 0; k < simd::kLanes; ++k) {
+          const int src = k < g ? group[k] : group[0];  // pad spare lanes
+          xs[k] = xi[src].x;
+          ys[k] = xi[src].y;
+        }
+        coef_edge_products_batch(geom.coef(cell[l]), xs, ys, prod);
+        for (int k = 0; k < g; ++k) {
+          for (int e = 0; e < 6; ++e) s[group[k]][e] = prod[e][k];
+          have_s[group[k]] = true;
+        }
+        batch_lanes += static_cast<std::uint64_t>(g);
+      } else {
+        edge_products(geom.coef(cell[l]), xi[l], s[l]);
+        have_s[l] = true;
+      }
+    }
+    for (int l = 0; l < n; ++l) {
+      if (!walking[l]) continue;
+      Attempt& a = att[l];
+      const CellId c = cell[l];
+      if (++a.steps > max_steps) {
+        a.degenerate = true;
+        a.degen_cell = c;
+        walking[l] = false;
+        --nwalk;
+        continue;
+      }
+      VerticalExit ve;
+      if (have_exit[l]) {
+        ve = pending[l];
+        have_exit[l] = false;
+      } else {
+        ve = coef_vertical_exit(geom.coef(c), s[l], eface[l]);
+        if (!ve.found || ve.degenerate) {
+          a.degenerate = true;
+          a.degen_cell = c;
+          walking[l] = false;
+          --nwalk;
+          continue;
+        }
+      }
+      add_interval(c, xi[l], zprev[l], ve.z_exit, zmin, zmax, dz, a.sigma);
+      if (ve.z_exit >= zmax) {
+        walking[l] = false;
+        --nwalk;
+        continue;
+      }
+      const CellId next = geom.next(c, ve.exit_face);
+      if (next == Triangulation::kNoCell) {
+        walking[l] = false;
+        --nwalk;
+        continue;
+      }
+      eface[l] = geom.mirror(c, ve.exit_face);
+      zprev[l] = ve.z_exit;
+      cell[l] = next;
+    }
+  }
+
+  // Clean lanes finish immediately; degenerate lanes carry their partial
+  // step counts into the shared scalar perturb-retry loop (only attempt 0
+  // is batched — retries are rare and ξ-divergent by design).
+  for (int l = 0; l < n; ++l)
+    out[l] = finish_line(xi[l], zmin, zmax, rng[l], att[l]);
 }
 
 double MarchingKernel::refine_cell(const Vec2& center, double size,
@@ -296,85 +523,155 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
   stats.thread_seconds.assign(
       static_cast<std::size_t>(omp_get_max_threads()), 0.0);
   std::uint64_t tot_rays = 0, tot_steps = 0, tot_restarts = 0, tot_failed = 0,
-                tot_empty = 0;
+                tot_empty = 0, tot_batch = 0;
   double tot_mass = 0.0;
   std::atomic<bool> cancelled{false};
 
   // ε is specified relative to the grid cell; march_line rescales by the
-  // silhouette extent, so compose the two factors here.
+  // silhouette extent, so compose the two factors here. The worker clone
+  // shares this kernel's coefficient tables — only its ε differs.
   MarchingOptions local = opt_;
   const double extent =
       std::max(hull_->hi().x - hull_->lo().x, hull_->hi().y - hull_->lo().y);
   local.perturb_epsilon = opt_.perturb_epsilon * (extent > 0.0 ? h / extent : 1.0);
-  MarchingKernel worker(*density_, *hull_, local);
+  const MarchingKernel worker(*this, local);
 
-#pragma omp parallel reduction(+ : tot_rays, tot_steps, tot_restarts, tot_failed, tot_empty, tot_mass)
+  // ξ for Monte Carlo sample `smp` of cell (ix, iy): low-discrepancy jitter
+  // (Halton (2,3) under a per-cell Cranley–Patterson rotation). Unbiased
+  // like plain uniform jitter, but stratified — on halo-clustered inputs
+  // (where a cell's column integral varies by orders of magnitude) the
+  // mass-recovery error of 8 samples/cell drops severalfold versus
+  // independent draws. Shared by the per-pixel and tiled loops so the two
+  // schedules sample identical positions.
+  auto sample_xi = [&](std::size_t ix, std::size_t iy, int smp, double rot_x,
+                       double rot_y) {
+    Vec2 xi = spec.cell_center(ix, iy);
+    if (opt_.monte_carlo_samples > 1) {
+      double jx = radical_inverse(static_cast<std::uint32_t>(smp), 2) + rot_x;
+      double jy = radical_inverse(static_cast<std::uint32_t>(smp), 3) + rot_y;
+      jx -= std::floor(jx);
+      jy -= std::floor(jy);
+      xi.x += (jx - 0.5) * h;
+      xi.y += (jy - 0.5) * h;
+    }
+    return xi;
+  };
+
+  // The tiled schedule batches 4 consecutive pixels through march_tile; it
+  // requires the table fast path and carries no adaptive refinement. Grid
+  // values are bitwise identical to the per-pixel schedule (per-lane rng
+  // streams are pure functions of the pixel index), so the choice is
+  // invisible outside throughput and the simd_batch_lanes counter.
+  const bool tiled =
+      simd_on_ && geom_ != nullptr && opt_.adaptive_max_depth == 0;
+
+#pragma omp parallel reduction(+ : tot_rays, tot_steps, tot_restarts, tot_failed, tot_empty, tot_batch, tot_mass)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     ThreadCpuTimer timer;
 
+    if (!tiled) {
 #pragma omp for schedule(dynamic, 8)
-    for (std::ptrdiff_t idx = 0;
-         idx < static_cast<std::ptrdiff_t>(nx * ny); ++idx) {
-      // Cooperative watchdog: poll the soft deadline every few rays; once it
-      // fires, skip the rest of the grid and report the cancellation after
-      // the parallel region (throwing out of an omp loop is UB).
-      if (opt_.deadline &&
-          (cancelled.load(std::memory_order_relaxed) ||
-           ((idx & 15) == 0 && opt_.deadline->expired()))) {
-        cancelled.store(true, std::memory_order_relaxed);
-        continue;
-      }
-      const auto ix = static_cast<std::size_t>(idx) % nx;
-      const auto iy = static_cast<std::size_t>(idx) / nx;
-      // Per-ray RNG: a pure function of (stream seed, cell index) so the
-      // rendered grid does not depend on the OpenMP schedule.
-      std::uint64_t rng = ray_seed(opt_.seed, static_cast<std::uint64_t>(idx));
-      if (opt_.adaptive_max_depth > 0) {
-        // Dynamic grid spacing: quadtree-refine cells whose corner lines
-        // disagree.
-        MarchingStats cell_stats;
-        grid.at(ix, iy) = worker.refine_cell(spec.cell_center(ix, iy), h,
-                                             spec.zmin, spec.zmax, 0, 1.0, rng,
-                                             &cell_stats);
-        tot_rays += cell_stats.rays_marched;
-        tot_steps += cell_stats.tetra_crossed;
-        tot_restarts += cell_stats.perturb_restarts;
-        tot_failed += cell_stats.failed_cells;
-        tot_mass += cell_stats.ray_mass;
-        continue;
-      }
-      double sigma = 0.0;
-      // Low-discrepancy ξ jitter: a Halton (2,3) pattern under a per-cell
-      // Cranley–Patterson rotation. Unbiased like the plain uniform jitter,
-      // but stratified — on halo-clustered inputs (where a cell's column
-      // integral varies by orders of magnitude) the mass-recovery error of
-      // 8 samples/cell drops severalfold versus independent draws.
-      const double rot_x = rand_unit(rng);
-      const double rot_y = rand_unit(rng);
-      for (int s = 0; s < opt_.monte_carlo_samples; ++s) {
-        Vec2 xi = spec.cell_center(ix, iy);
-        if (opt_.monte_carlo_samples > 1) {
-          double jx = radical_inverse(static_cast<std::uint32_t>(s), 2) + rot_x;
-          double jy = radical_inverse(static_cast<std::uint32_t>(s), 3) + rot_y;
-          jx -= std::floor(jx);
-          jy -= std::floor(jy);
-          xi.x += (jx - 0.5) * h;
-          xi.y += (jy - 0.5) * h;
+      for (std::ptrdiff_t idx = 0;
+           idx < static_cast<std::ptrdiff_t>(nx * ny); ++idx) {
+        // Cooperative watchdog: poll the soft deadline every few rays; once
+        // it fires, skip the rest of the grid and report the cancellation
+        // after the parallel region (throwing out of an omp loop is UB).
+        if (opt_.deadline &&
+            (cancelled.load(std::memory_order_relaxed) ||
+             ((idx & 15) == 0 && opt_.deadline->expired()))) {
+          cancelled.store(true, std::memory_order_relaxed);
+          continue;
         }
-        const LineResult r = worker.march_line(xi, spec.zmin, spec.zmax, rng);
-        if (obs::metrics_enabled())
-          obs::observe(march_metrics().crossings_per_ray,
-                       static_cast<double>(r.steps));
-        sigma += r.sigma;
-        tot_rays += 1;
-        tot_steps += r.steps;
-        tot_restarts += static_cast<std::uint64_t>(r.restarts);
-        tot_failed += r.failed ? 1 : 0;
-        tot_empty += r.empty ? 1 : 0;
+        const auto ix = static_cast<std::size_t>(idx) % nx;
+        const auto iy = static_cast<std::size_t>(idx) / nx;
+        // Per-ray RNG: a pure function of (stream seed, cell index) so the
+        // rendered grid does not depend on the OpenMP schedule.
+        std::uint64_t rng =
+            ray_seed(opt_.seed, static_cast<std::uint64_t>(idx));
+        if (opt_.adaptive_max_depth > 0) {
+          // Dynamic grid spacing: quadtree-refine cells whose corner lines
+          // disagree.
+          MarchingStats cell_stats;
+          grid.at(ix, iy) = worker.refine_cell(spec.cell_center(ix, iy), h,
+                                               spec.zmin, spec.zmax, 0, 1.0,
+                                               rng, &cell_stats);
+          tot_rays += cell_stats.rays_marched;
+          tot_steps += cell_stats.tetra_crossed;
+          tot_restarts += cell_stats.perturb_restarts;
+          tot_failed += cell_stats.failed_cells;
+          tot_mass += cell_stats.ray_mass;
+          continue;
+        }
+        double sigma = 0.0;
+        const double rot_x = rand_unit(rng);
+        const double rot_y = rand_unit(rng);
+        for (int smp = 0; smp < opt_.monte_carlo_samples; ++smp) {
+          const Vec2 xi = sample_xi(ix, iy, smp, rot_x, rot_y);
+          const LineResult r = worker.march_line(xi, spec.zmin, spec.zmax, rng);
+          if (obs::metrics_enabled())
+            obs::observe(march_metrics().crossings_per_ray,
+                         static_cast<double>(r.steps));
+          sigma += r.sigma;
+          tot_rays += 1;
+          tot_steps += r.steps;
+          tot_restarts += static_cast<std::uint64_t>(r.restarts);
+          tot_failed += r.failed ? 1 : 0;
+          tot_empty += r.empty ? 1 : 0;
+        }
+        grid.at(ix, iy) = sigma / opt_.monte_carlo_samples;
+        tot_mass += sigma / opt_.monte_carlo_samples;
       }
-      grid.at(ix, iy) = sigma / opt_.monte_carlo_samples;
-      tot_mass += sigma / opt_.monte_carlo_samples;
+    } else {
+      const auto total = static_cast<std::ptrdiff_t>(nx * ny);
+      const std::ptrdiff_t lanes = simd::kLanes;
+      const std::ptrdiff_t ntiles = (total + lanes - 1) / lanes;
+#pragma omp for schedule(dynamic, 2)
+      for (std::ptrdiff_t tile = 0; tile < ntiles; ++tile) {
+        // Same watchdog cadence as the per-pixel loop: ~every 16 rays.
+        if (opt_.deadline &&
+            (cancelled.load(std::memory_order_relaxed) ||
+             ((tile & 3) == 0 && opt_.deadline->expired()))) {
+          cancelled.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        const std::ptrdiff_t idx0 = tile * lanes;
+        const int nl =
+            static_cast<int>(std::min<std::ptrdiff_t>(lanes, total - idx0));
+        std::uint64_t rng[simd::kLanes];
+        double rot_x[simd::kLanes], rot_y[simd::kLanes];
+        double sigma[simd::kLanes] = {};
+        for (int l = 0; l < nl; ++l) {
+          rng[l] = ray_seed(opt_.seed, static_cast<std::uint64_t>(idx0 + l));
+          rot_x[l] = rand_unit(rng[l]);
+          rot_y[l] = rand_unit(rng[l]);
+        }
+        for (int smp = 0; smp < opt_.monte_carlo_samples; ++smp) {
+          Vec2 xis[simd::kLanes];
+          for (int l = 0; l < nl; ++l) {
+            const auto idx = static_cast<std::size_t>(idx0 + l);
+            xis[l] = sample_xi(idx % nx, idx / nx, smp, rot_x[l], rot_y[l]);
+          }
+          LineResult r[simd::kLanes];
+          worker.march_tile(xis, nl, spec.zmin, spec.zmax, rng, r, tot_batch);
+          for (int l = 0; l < nl; ++l) {
+            if (obs::metrics_enabled())
+              obs::observe(march_metrics().crossings_per_ray,
+                           static_cast<double>(r[l].steps));
+            sigma[l] += r[l].sigma;
+            tot_rays += 1;
+            tot_steps += r[l].steps;
+            tot_restarts += static_cast<std::uint64_t>(r[l].restarts);
+            tot_failed += r[l].failed ? 1 : 0;
+            tot_empty += r[l].empty ? 1 : 0;
+          }
+        }
+        for (int l = 0; l < nl; ++l) {
+          const auto idx = static_cast<std::size_t>(idx0 + l);
+          grid.at(idx % nx, idx / nx) = sigma[l] / opt_.monte_carlo_samples;
+          tot_mass += sigma[l] / opt_.monte_carlo_samples;
+        }
+      }
     }
     stats.thread_seconds[tid] = timer.seconds();
   }
@@ -385,6 +682,7 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
   stats.perturb_restarts = tot_restarts;
   stats.failed_cells = tot_failed;
   stats.empty_cells = tot_empty;
+  stats.simd_batch_lanes = tot_batch;
   stats.ray_mass = tot_mass;
   stats_ = stats;
 
@@ -398,6 +696,7 @@ Grid2D MarchingKernel::render(const FieldSpec& spec) const {
     obs::add(m.restarts, static_cast<double>(tot_restarts));
     obs::add(m.failed, static_cast<double>(tot_failed));
     obs::add(m.empty, static_cast<double>(tot_empty));
+    obs::add(m.batch_lanes, static_cast<double>(tot_batch));
   }
   span.add_arg("rays", static_cast<double>(tot_rays));
   span.add_arg("tetra_crossings", static_cast<double>(tot_steps));

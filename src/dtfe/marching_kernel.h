@@ -8,17 +8,28 @@
 // intermediate 3D grid is ever built, and the sample points are the
 // mathematically optimal ones.
 //
+// The vertical hot path runs on precomputed SoA coefficient tables
+// (dtfe/march_tables.h, DESIGN.md §11) built once per triangulation and
+// shared across channels; with use_simd active, rays are marched in 4-wide
+// pixel tiles whose edge products evaluate in SIMD — bitwise identical to
+// the scalar table path by construction. The direct AoS classifiers remain
+// behind use_general_plucker/use_moller_trumbore as the audit/ablation
+// oracle.
+//
 // Degeneracies (ℓ hits a vertex/edge or is coplanar with a face) are handled
 // by the paper's Perturb routine: nudge ℓ by ε toward a random vertex of the
 // offending tetrahedron and retry.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "delaunay/hull_projection.h"
 #include "dtfe/density.h"
 #include "dtfe/field.h"
+#include "dtfe/march_tables.h"
 #include "util/cancel.h"
+#include "util/simd.h"
 
 namespace dtfe {
 
@@ -38,6 +49,11 @@ struct MarchingOptions {
   /// Use the general-direction Plücker test instead of the vertical-line
   /// specialization (ablation; identical results, ~3× more arithmetic).
   bool use_general_plucker = false;
+  /// SIMD batching of the vertical fast path (tile marching + vectorized
+  /// edge products). kAuto enables it when the build carries a native ISA.
+  /// Grids are bitwise identical across on/off — the flag is a perf A/B
+  /// switch, not a results knob.
+  SimdMode use_simd = SimdMode::kAuto;
   /// Dynamic grid spacing (the mode the paper disabled "for clarity" in its
   /// Fig. 6 comparison): when > 0, every 2D cell whose corner line integrals
   /// disagree by more than adaptive_tolerance (relative) is split into 4 and
@@ -69,6 +85,10 @@ struct MarchingStats {
   std::uint64_t perturb_restarts = 0;    ///< degenerate marches restarted
   std::uint64_t failed_cells = 0;        ///< cells that hit the retry cap
   std::uint64_t empty_cells = 0;         ///< ξ outside the hull silhouette
+  /// Crossing tests evaluated through the ray-parallel SIMD batch (lanes
+  /// that shared a walk front with a tile neighbor); 0 when use_simd
+  /// resolves off. Observability for the A/B bench, not a results signal.
+  std::uint64_t simd_batch_lanes = 0;
   /// Independent re-accumulation of every terminal ray's integral (weighted
   /// by its share of its 2D cell). In exact arithmetic this equals the sum
   /// of the rendered grid's values; the audit layer compares the two to
@@ -81,8 +101,12 @@ class MarchingKernel {
  public:
   /// The kernel reuses one hull projection across many fields on the same
   /// triangulation; both referenced objects must outlive the kernel.
+  /// `geom` optionally shares a prebuilt TetraGeomTable (engine/FieldCube
+  /// builds one per triangulation and hands it to every channel kernel);
+  /// when null the kernel builds its own.
   MarchingKernel(const DensityField& density, const HullProjection& hull,
-                 MarchingOptions opt = {});
+                 MarchingOptions opt = {},
+                 std::shared_ptr<const TetraGeomTable> geom = nullptr);
 
   /// Render the surface density field (paper Fig. 3 over all grid cells,
   /// OpenMP-parallel). Returns an Ng×Ng grid of Σ̂ values.
@@ -96,7 +120,19 @@ class MarchingKernel {
   /// Statistics from the most recent render() call.
   const MarchingStats& stats() const { return stats_; }
 
+  /// Whether the SIMD batch path is active for this kernel (opt.use_simd
+  /// resolved against the compiled ISA and the fast-path preconditions).
+  bool simd_active() const { return simd_on_; }
+
  private:
+  /// Result of one un-perturbed march attempt along a fixed ξ.
+  struct Attempt {
+    double sigma = 0.0;
+    std::uint64_t steps = 0;
+    bool empty = false;
+    bool degenerate = false;
+    CellId degen_cell = Triangulation::kNoCell;
+  };
   struct LineResult {
     double sigma = 0.0;
     std::uint64_t steps = 0;
@@ -104,8 +140,30 @@ class MarchingKernel {
     bool failed = false;
     bool empty = false;
   };
+
+  /// Rescaled-ε worker sharing the parent's tables (render() internal).
+  MarchingKernel(const MarchingKernel& base, const MarchingOptions& opt);
+
   LineResult march_line(Vec2 xi, double zmin, double zmax,
                         std::uint64_t& rng) const;
+  /// Perturb-retry continuation: takes attempt 0's outcome (from march_line
+  /// or from a tile lane) and drives the remaining scalar retries.
+  LineResult finish_line(Vec2 xi, double zmin, double zmax,
+                         std::uint64_t& rng, const Attempt& first) const;
+  Attempt march_once_fast(const Vec2& xi, double zmin, double zmax) const;
+  Attempt march_once_slow(const Vec2& xi, double zmin, double zmax) const;
+  /// March up to simd::kLanes rays in lockstep; lanes whose walk fronts
+  /// meet in one tetra share a ray-parallel batched crossing test.
+  /// `batch_lanes` accumulates how many tests took the batch route.
+  void march_tile(const Vec2* xi, int n, double zmin, double zmax,
+                  std::uint64_t* rng, LineResult* out,
+                  std::uint64_t& batch_lanes) const;
+  /// Accumulate one tetra's contribution over [a, b) into sigma — shared by
+  /// the scalar and tile walks so their arithmetic is identical.
+  void add_interval(CellId c, const Vec2& xi, double a, double b, double zmin,
+                    double zmax, double dz, double& sigma) const;
+  void edge_products(const VerticalTetraCoef& t, const Vec2& xi,
+                     double s[6]) const;
   /// Adaptive (quadtree) estimate of the mean surface density over the
   /// square cell centered at `center` with side `size`. `weight` is this
   /// node's share of the top-level 2D cell (1.0 at the root), used to
@@ -117,6 +175,9 @@ class MarchingKernel {
   const DensityField* density_;
   const HullProjection* hull_;
   MarchingOptions opt_;
+  std::shared_ptr<const TetraGeomTable> geom_;
+  std::shared_ptr<const FieldCoefTable> field_;
+  bool simd_on_ = false;
   mutable MarchingStats stats_;
 };
 

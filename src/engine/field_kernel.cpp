@@ -154,6 +154,7 @@ FieldCube::FieldCube(std::vector<Vec3> particles, double particle_mass,
   tri_seconds_ = t.seconds();
   density_ = std::make_unique<DensityField>(*tri_, particle_mass);
   hull_ = std::make_unique<HullProjection>(*tri_);
+  geom_ = std::make_shared<const TetraGeomTable>(*tri_);
 }
 
 FieldGrid FieldKernel::render(const FieldCube& cube,
@@ -204,8 +205,14 @@ FieldGrid MarchingFieldKernel::render_one(const FieldCube& cube,
   MarchingOptions opt = base_;
   if (request.seed != 0) opt.seed = request.seed;
   if (deadline != nullptr) opt.deadline = deadline;
+  // The vertical fast path shares the cube's SoA geometry tables; the
+  // ablation oracles (Möller / general Plücker) ignore the handle, so
+  // skip the (possibly lazy) build for them.
+  const bool fast = !opt.use_moller_trumbore && !opt.use_general_plucker;
+  const std::shared_ptr<const TetraGeomTable> geom =
+      fast ? cube.geom_table() : nullptr;
   if (request.field == FieldKind::kDensity) {
-    const MarchingKernel kernel(cube.density(), cube.hull(), opt);
+    const MarchingKernel kernel(cube.density(), cube.hull(), opt, geom);
     Grid2D grid = kernel.render(request.spec);
     stats.ray_mass = kernel.stats().ray_mass;
     stats.failed_cells = kernel.stats().failed_cells;
@@ -220,7 +227,7 @@ FieldGrid MarchingFieldKernel::render_one(const FieldCube& cube,
   const auto channels = channel_vertex_values(cube, request);
   const std::vector<double> ones(tri.num_vertices(), 1.0);
   const DensityField unit = DensityField::with_vertex_values(tri, ones);
-  const MarchingKernel path_kernel(unit, cube.hull(), opt);
+  const MarchingKernel path_kernel(unit, cube.hull(), opt, geom);
   const Grid2D path = path_kernel.render(request.spec);
   stats.failed_cells += path_kernel.stats().failed_cells;
   stats.perturb_restarts += path_kernel.stats().perturb_restarts;
@@ -229,7 +236,7 @@ FieldGrid MarchingFieldKernel::render_one(const FieldCube& cube,
   planes.reserve(channels.size());
   for (const std::vector<double>& values : channels) {
     const DensityField f = DensityField::with_vertex_values(tri, values);
-    const MarchingKernel kernel(f, cube.hull(), opt);
+    const MarchingKernel kernel(f, cube.hull(), opt, geom);
     const Grid2D integral = kernel.render(request.spec);
     stats.failed_cells += kernel.stats().failed_cells;
     stats.perturb_restarts += kernel.stats().perturb_restarts;

@@ -57,6 +57,12 @@ class FieldCube {
   /// accounts triangulation and interpolation phases separately).
   double triangulate_seconds() const { return tri_seconds_; }
 
+  /// The SoA crossing-test tables for this cube's triangulation
+  /// (dtfe/march_tables.h), built once with the cube and shared by every
+  /// marching kernel rendering from it — the unit path and each channel of
+  /// a vector render reuse one table instead of rebuilding per kernel.
+  std::shared_ptr<const TetraGeomTable> geom_table() const { return geom_; }
+
  private:
   std::vector<Vec3> points_;
   double particle_mass_ = 1.0;
@@ -64,6 +70,7 @@ class FieldCube {
   std::unique_ptr<DensityField> density_;
   std::unique_ptr<HullProjection> hull_;
   double tri_seconds_ = 0.0;
+  std::shared_ptr<const TetraGeomTable> geom_;
 };
 
 /// One resolved render request: where/how to evaluate the field, which

@@ -13,7 +13,8 @@ constexpr std::uint32_t kConfigMagic = 0x43464750u;  // "PGFC"
 constexpr std::uint32_t kResultMagic = 0x52534C50u;  // "PLSR"
 // v2: PipelineOptions gained field/smooth_ensemble, grids became
 // multi-channel FieldGrids, and WorkerPayload ships histogram snapshots.
-constexpr std::uint32_t kVersion = 2;
+// v3: PipelineOptions gained use_simd (marching kernel SIMD A/B switch).
+constexpr std::uint32_t kVersion = 3;
 
 class ByteWriter {
  public:
@@ -129,6 +130,7 @@ void write_options(ByteWriter& w, const PipelineOptions& o) {
   w.pod(o.threads);
   w.pod(static_cast<std::uint64_t>(o.field));
   w.pod(o.smooth_ensemble);
+  w.pod(static_cast<std::int32_t>(o.use_simd));
 }
 
 PipelineOptions read_options(ByteReader& r) {
@@ -157,6 +159,7 @@ PipelineOptions read_options(ByteReader& r) {
   o.threads = r.pod<int>();
   o.field = static_cast<FieldKind>(r.pod<std::uint64_t>());
   o.smooth_ensemble = r.pod<int>();
+  o.use_simd = static_cast<SimdMode>(r.pod<std::int32_t>());
   return o;
 }
 

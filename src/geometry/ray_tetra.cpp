@@ -4,57 +4,6 @@
 
 namespace dtfe {
 
-namespace {
-
-// For face f of kTetraFace, the three directed edges A→B, B→C, C→A expressed
-// as (edge index into kTetraEdge, sign). Built once; sign −1 means the canon-
-// ical i<j edge runs opposite to the face winding.
-struct FaceEdge {
-  int edge;
-  double sign;
-};
-
-constexpr int edge_index(int i, int j) {
-  // canonical (min,max) lookup into kTetraEdge
-  const int a = i < j ? i : j;
-  const int b = i < j ? j : i;
-  if (a == 0) return b - 1;       // (0,1)->0 (0,2)->1 (0,3)->2
-  if (a == 1) return b + 1;       // (1,2)->3 (1,3)->4
-  return 5;                       // (2,3)
-}
-
-constexpr FaceEdge face_edge(int face, int k) {
-  const int i = kTetraFace[face][k];
-  const int j = kTetraFace[face][(k + 1) % 3];
-  return {edge_index(i, j), i < j ? 1.0 : -1.0};
-}
-
-// Fully precomputed lookup tables so the hot loops do no index arithmetic.
-struct FaceEdgeEntry {
-  int edge;
-  double sign;
-  int weight_vertex;  // barycentric weight of this edge's product
-};
-constexpr auto kFaceEdgeTable = [] {
-  std::array<std::array<FaceEdgeEntry, 3>, 4> t{};
-  for (int f = 0; f < 4; ++f)
-    for (int k = 0; k < 3; ++k) {
-      const FaceEdge fe = face_edge(f, k);
-      t[static_cast<std::size_t>(f)][static_cast<std::size_t>(k)] = {
-          fe.edge, fe.sign, kTetraFace[f][(k + 2) % 3]};
-    }
-  return t;
-}();
-
-// Barycentric weight association (paper Eq. 9): the product for edge A→B is
-// the weight of the OPPOSITE vertex C. Face winding (A,B,C) with edges
-// (A→B, B→C, C→A) gives weights (w_AB→C, w_BC→A, w_CA→B).
-constexpr int face_weight_vertex(int face, int k) {
-  return kTetraFace[face][(k + 2) % 3];
-}
-
-}  // namespace
-
 LineTetraHit line_tetra_plucker(const PluckerLine& line, const Vec3& origin,
                                 const Vec3& dir,
                                 const std::array<Vec3, 4>& v) {
@@ -75,7 +24,8 @@ LineTetraHit line_tetra_plucker(const PluckerLine& line, const Vec3& origin,
     bool any_zero = false;
     int pos = 0, neg = 0;
     for (int k = 0; k < 3; ++k) {
-      const FaceEdge fe = face_edge(f, k);
+      const FaceEdgeEntry& fe =
+          kFaceEdgeTable[static_cast<std::size_t>(f)][static_cast<std::size_t>(k)];
       w[k] = fe.sign * s[fe.edge];
       if (w[k] > 0.0) ++pos;
       else if (w[k] < 0.0) ++neg;
@@ -96,7 +46,9 @@ LineTetraHit line_tetra_plucker(const PluckerLine& line, const Vec3& origin,
     const double wsum = w[0] + w[1] + w[2];
     Vec3 x{0, 0, 0};
     for (int k = 0; k < 3; ++k)
-      x += v[face_weight_vertex(f, k)] * (w[k] / wsum);
+      x += v[kFaceEdgeTable[static_cast<std::size_t>(f)]
+                           [static_cast<std::size_t>(k)].weight_vertex] *
+           (w[k] / wsum);
     const double t = (x - origin).dot(dir) / dir_norm2;
     if (found == 0) {
       hit.enter_face = f;

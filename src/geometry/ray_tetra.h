@@ -25,6 +25,44 @@ inline constexpr int kTetraFace[4][3] = {
 inline constexpr int kTetraEdge[6][2] = {
     {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
 
+/// One directed boundary edge of a face, resolved against the canonical
+/// edge list: `sign` is −1 when the canonical i<j edge runs opposite to the
+/// face winding, and `weight_vertex` is the vertex whose barycentric weight
+/// this edge's Plücker product carries (paper Eq. 9: the product for edge
+/// A→B weights the OPPOSITE face vertex C).
+struct FaceEdgeEntry {
+  int edge;
+  double sign;
+  int weight_vertex;
+};
+
+namespace detail {
+/// Canonical (min, max) lookup into kTetraEdge.
+constexpr int tetra_edge_index(int i, int j) {
+  const int a = i < j ? i : j;
+  const int b = i < j ? j : i;
+  if (a == 0) return b - 1;  // (0,1)->0 (0,2)->1 (0,3)->2
+  if (a == 1) return b + 1;  // (1,2)->3 (1,3)->4
+  return 5;                  // (2,3)
+}
+}  // namespace detail
+
+/// Fully precomputed face→edge incidence so the crossing-test hot loops do
+/// no index arithmetic. Shared by the direct (AoS) classifiers below and the
+/// coefficient-table form in geometry/tetra_coef.h.
+inline constexpr auto kFaceEdgeTable = [] {
+  std::array<std::array<FaceEdgeEntry, 3>, 4> t{};
+  for (int f = 0; f < 4; ++f)
+    for (int k = 0; k < 3; ++k) {
+      const int i = kTetraFace[f][k];
+      const int j = kTetraFace[f][(k + 1) % 3];
+      t[static_cast<std::size_t>(f)][static_cast<std::size_t>(k)] = {
+          detail::tetra_edge_index(i, j), i < j ? 1.0 : -1.0,
+          kTetraFace[f][(k + 2) % 3]};
+    }
+  return t;
+}();
+
 struct LineTetraHit {
   bool intersects = false;   ///< line crosses the tetra interior
   bool degenerate = false;   ///< hit a vertex/edge or is coplanar with a face

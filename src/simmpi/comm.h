@@ -189,7 +189,8 @@ class Comm {
                        << " bytes, expected a multiple of " << sizeof(T));
     if (actual_source) *actual_source = src;
     std::vector<T> v(bytes.size() / sizeof(T));
-    std::memcpy(v.data(), bytes.data(), bytes.size());
+    if (!bytes.empty())  // empty message: data() may be null
+      std::memcpy(v.data(), bytes.data(), bytes.size());
     return v;
   }
 
@@ -235,7 +236,8 @@ class Comm {
     std::vector<std::vector<T>> out(raw.size());
     for (std::size_t r = 0; r < raw.size(); ++r) {
       out[r].resize(raw[r].size() / sizeof(T));
-      std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+      if (!raw[r].empty())  // dead rank: empty buffer, data() may be null
+        std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
     }
     return out;
   }
